@@ -1,0 +1,149 @@
+//===- Harness.cpp - shared benchmark-harness utilities ------------------===//
+
+#include "bench/Harness.h"
+
+#include "core/TemporalOptimizer.h"
+#include "support/Format.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace ltp;
+using namespace ltp::bench;
+
+const char *ltp::bench::schedulerName(Scheduler S) {
+  switch (S) {
+  case Scheduler::Proposed:
+    return "Proposed";
+  case Scheduler::ProposedNTI:
+    return "Proposed+NTI";
+  case Scheduler::AutoScheduler:
+    return "Auto-Scheduler";
+  case Scheduler::Baseline:
+    return "Baseline";
+  case Scheduler::Autotuner:
+    return "Autotuner";
+  case Scheduler::TSS:
+    return "TSS";
+  case Scheduler::TTS:
+    return "TTS";
+  }
+  assert(false && "unknown scheduler");
+  return "";
+}
+
+std::string ltp::bench::applyScheduler(BenchmarkInstance &Instance,
+                                       Scheduler S, const ArchParams &Arch,
+                                       JITCompiler *Compiler,
+                                       double AutotuneBudgetSeconds,
+                                       const TemporalOptions &Ablation) {
+  switch (S) {
+  case Scheduler::Proposed:
+  case Scheduler::ProposedNTI: {
+    OptimizerOptions Options;
+    Options.Temporal = Ablation;
+    Options.EnableNonTemporal = S == Scheduler::ProposedNTI;
+    std::string Description;
+    for (size_t I = 0; I != Instance.Stages.size(); ++I) {
+      OptimizationResult R = optimize(
+          Instance.Stages[I], Instance.StageExtents[I], Arch, Options);
+      if (!Description.empty())
+        Description += " | ";
+      Description += R.Description;
+    }
+    return Description;
+  }
+  case Scheduler::AutoScheduler:
+    for (size_t I = 0; I != Instance.Stages.size(); ++I)
+      applyAutoSchedulerSchedule(Instance.Stages[I],
+                                 Instance.StageExtents[I], Arch);
+    return "auto-scheduler (square output tiles, single cache level)";
+  case Scheduler::Baseline:
+    for (size_t I = 0; I != Instance.Stages.size(); ++I)
+      applyBaselineSchedule(Instance.Stages[I], Instance.StageExtents[I],
+                            Arch);
+    return "baseline (parallel outer, vectorized inner)";
+  case Scheduler::Autotuner: {
+    assert(Compiler && "the autotuner needs a JIT compiler");
+    AutotuneOptions Options;
+    Options.BudgetSeconds = AutotuneBudgetSeconds;
+    AutotuneOutcome Outcome = autotune(Instance, *Compiler, Options);
+    return strFormat("autotuner: %d candidates, best %.3f ms (%s)",
+                     Outcome.CandidatesEvaluated,
+                     Outcome.BestSeconds * 1e3,
+                     Outcome.BestDescription.c_str());
+  }
+  case Scheduler::TSS:
+  case Scheduler::TTS: {
+    for (size_t I = 0; I != Instance.Stages.size(); ++I) {
+      Func &F = Instance.Stages[I];
+      F.clearSchedules();
+      int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+      StageAccessInfo Info =
+          analyzeStage(F, ComputeStage, Instance.StageExtents[I]);
+      TemporalSchedule Sched = S == Scheduler::TSS
+                                   ? optimizeTSS(Info, Arch)
+                                   : optimizeTTS(Info, Arch);
+      applyTemporalSchedule(F, ComputeStage, Sched, Info);
+    }
+    return S == Scheduler::TSS ? "TSS (prefetch-unaware L1/L2 model)"
+                               : "TTS (L2/LLC model)";
+  }
+  }
+  assert(false && "unknown scheduler");
+  return "";
+}
+
+double ltp::bench::timePipeline(const BenchmarkInstance &Instance,
+                                JITCompiler &Compiler, int Runs,
+                                bool EnableNonTemporalCodegen) {
+  CodeGenOptions Options;
+  Options.EnableNonTemporal = EnableNonTemporalCodegen;
+  auto Pipeline = compilePipeline(Instance, Compiler, Options);
+  if (!Pipeline) {
+    std::fprintf(stderr, "warning: JIT compile failed: %s\n",
+                 Pipeline.getError().c_str());
+    return -1.0;
+  }
+  // One warm-up run, then the best of the timed runs.
+  Pipeline->run(Instance);
+  return timeBestOf(static_cast<unsigned>(Runs),
+                    [&] { Pipeline->run(Instance); });
+}
+
+int64_t ltp::bench::problemSize(const BenchmarkDef &Def,
+                                const ArgParse &Args) {
+  if (Args.has("paper"))
+    return Def.PaperSize;
+  double Scale = Args.getDouble("scale", 1.0);
+  int64_t Size = static_cast<int64_t>(
+      static_cast<double>(Def.DefaultSize) * Scale);
+  return std::max<int64_t>(16, Size);
+}
+
+int ltp::bench::timedRuns(const ArgParse &Args, int Default) {
+  return static_cast<int>(Args.getInt("runs", Default));
+}
+
+void ltp::bench::printHeader(const char *Title, const ArchParams &Arch) {
+  // Line-buffer stdout so long-running benches stream their rows even
+  // when piped to a file.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf("== %s ==\n", Title);
+  std::printf("modeled platform : %s\n", describe(Arch).c_str());
+  std::printf("host platform    : %s\n", describe(detectHost()).c_str());
+  std::printf("JIT              : %s\n\n",
+              jitAvailable() ? "available" : "UNAVAILABLE (times skipped)");
+}
+
+void ltp::bench::printRow(const std::vector<std::string> &Cells,
+                          const std::vector<int> &Widths) {
+  assert(Cells.size() == Widths.size() && "cell/width count mismatch");
+  std::string Line;
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    Line += padRight(Cells[I], static_cast<unsigned>(Widths[I]));
+    Line += "  ";
+  }
+  std::printf("%s\n", Line.c_str());
+}

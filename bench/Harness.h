@@ -1,0 +1,76 @@
+//===- Harness.h - shared benchmark-harness utilities -----------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the per-table/per-figure bench binaries: the five
+/// scheduler configurations of Figure 4, JIT-based timing, simulator
+/// evaluation, and tabular output helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_BENCH_HARNESS_H
+#define LTP_BENCH_HARNESS_H
+
+#include "baselines/Autotuner.h"
+#include "baselines/Baselines.h"
+#include "benchmarks/PipelineRunner.h"
+#include "core/Optimizer.h"
+#include "support/ArgParse.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ltp {
+namespace bench {
+
+/// The scheduler configurations compared in the evaluation.
+enum class Scheduler {
+  Proposed,
+  ProposedNTI,
+  AutoScheduler,
+  Baseline,
+  Autotuner,
+  TSS,
+  TTS,
+};
+
+const char *schedulerName(Scheduler S);
+
+/// Applies \p S to every stage of \p Instance. The autotuner needs a JIT
+/// compiler and a budget; other schedulers ignore those arguments.
+/// Returns a short description of what was applied.
+std::string applyScheduler(BenchmarkInstance &Instance, Scheduler S,
+                           const ArchParams &Arch,
+                           JITCompiler *Compiler = nullptr,
+                           double AutotuneBudgetSeconds = 5.0,
+                           const TemporalOptions &Ablation = {});
+
+/// Compiles and times the pipeline: best of \p Runs wall-clock seconds.
+/// Returns a negative value when JIT compilation is unavailable/fails.
+double timePipeline(const BenchmarkInstance &Instance,
+                    JITCompiler &Compiler, int Runs,
+                    bool EnableNonTemporalCodegen = true);
+
+/// Scaled problem size for one benchmark: the default container-scaled
+/// size multiplied by --scale, or the paper size under --paper.
+int64_t problemSize(const BenchmarkDef &Def, const ArgParse &Args);
+
+/// Number of timed runs (--runs, default \p Default).
+int timedRuns(const ArgParse &Args, int Default);
+
+/// Prints the standard bench header (platform modeled, host detected,
+/// JIT availability).
+void printHeader(const char *Title, const ArchParams &Arch);
+
+/// Prints one row of a fixed-width table.
+void printRow(const std::vector<std::string> &Cells,
+              const std::vector<int> &Widths);
+
+} // namespace bench
+} // namespace ltp
+
+#endif // LTP_BENCH_HARNESS_H

@@ -1,0 +1,136 @@
+//===- fig4_comparison.cpp - Figure 4: scheduler comparison ---------------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+// Regenerates Figure 4 of the paper: relative throughput (1/s, normalized
+// to the fastest implementation) of Proposed / Proposed+NTI /
+// Auto-Scheduler / Baseline / Autotuner over the 12 benchmarks, for an
+// Intel Table-3 platform configuration (--arch=5930k|6700).
+//
+// Wall-clock runs execute on the host through the JIT; pass --sim to also
+// evaluate each schedule on the cache simulator configured with the
+// modeled platform (reduced sizes; see EXPERIMENTS.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace ltp;
+using namespace ltp::bench;
+
+namespace {
+
+int64_t simSize(const std::string &Name) {
+  if (Name == "convlayer")
+    return 16;
+  if (Name == "doitgen")
+    return 32;
+  if (Name == "tp" || Name == "tpm" || Name == "copy" || Name == "mask")
+    return 512;
+  return 96;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args(Argc, Argv);
+  ArchParams Arch = Args.getString("arch", "5930k") == "6700"
+                        ? intelI7_6700()
+                        : intelI7_5930K();
+  printHeader("Figure 4: relative throughput vs fastest", Arch);
+
+  const std::vector<Scheduler> Schedulers = {
+      Scheduler::Proposed, Scheduler::ProposedNTI, Scheduler::AutoScheduler,
+      Scheduler::Baseline, Scheduler::Autotuner};
+  const int Runs = timedRuns(Args, 2);
+  const double Budget = Args.getDouble("autotune-budget", 5.0);
+  const std::string Only = Args.getString("bench", "");
+  const bool Sim = Args.has("sim");
+  const bool Verify = Args.has("verify");
+
+  JITCompiler Compiler;
+  std::vector<int> Widths = {10, 15, 12, 10, 10, 40};
+  printRow({"benchmark", "scheduler", "time(ms)", "rel-tput",
+            Sim ? "sim-cyc" : "", "schedule"},
+           Widths);
+
+  for (const BenchmarkDef &Def : allBenchmarks()) {
+    if (!Only.empty() && Only != Def.Name)
+      continue;
+    int64_t Size = problemSize(Def, Args);
+
+    struct Row {
+      Scheduler S;
+      double Seconds = -1.0;
+      double SimCycles = -1.0;
+      std::string Description;
+      bool Applicable = true;
+    };
+    std::vector<Row> Rows;
+
+    for (Scheduler S : Schedulers) {
+      Row R;
+      R.S = S;
+      BenchmarkInstance Instance = Def.Create(Size);
+      R.Description = applyScheduler(Instance, S, Arch, &Compiler, Budget);
+
+      // Proposed+NTI only differs when the classifier enables streaming
+      // stores; report it once, on the kernels it applies to.
+      if (S == Scheduler::ProposedNTI &&
+          !Instance.Stages.back().isStoreNonTemporal())
+        R.Applicable = false;
+
+      if (R.Applicable && jitAvailable())
+        R.Seconds = timePipeline(Instance, Compiler, Runs);
+      if (R.Applicable && Verify) {
+        // Verify on a small replica: the interpreter is the oracle and
+        // far too slow for bench-sized problems.
+        BenchmarkInstance Small = Def.Create(simSize(Def.Name) / 2);
+        applyScheduler(Small, S, Arch, &Compiler, 1.0);
+        runInterpreted(Small);
+        if (!verifyOutput(Small))
+          std::printf("!! VERIFY FAILED: %s / %s\n", Def.Name.c_str(),
+                      schedulerName(S));
+      }
+      if (R.Applicable && Sim) {
+        BenchmarkInstance SimInstance = Def.Create(simSize(Def.Name));
+        applyScheduler(SimInstance, S, Arch, &Compiler, 1.0);
+        R.SimCycles = simulatePipeline(SimInstance, Arch).EstimatedCycles;
+      }
+      Rows.push_back(R);
+    }
+
+    double BestSeconds = -1.0;
+    for (const Row &R : Rows)
+      if (R.Applicable && R.Seconds > 0.0 &&
+          (BestSeconds < 0.0 || R.Seconds < BestSeconds))
+        BestSeconds = R.Seconds;
+
+    for (const Row &R : Rows) {
+      if (!R.Applicable) {
+        printRow({Def.Name, schedulerName(R.S), "-", "-", Sim ? "-" : "",
+                  "(NTI not applicable)"},
+                 Widths);
+        continue;
+      }
+      std::string TimeText =
+          R.Seconds > 0.0 ? strFormat("%.2f", R.Seconds * 1e3) : "n/a";
+      std::string RelText =
+          R.Seconds > 0.0 && BestSeconds > 0.0
+              ? strFormat("%.3f", BestSeconds / R.Seconds)
+              : "n/a";
+      std::string SimText =
+          Sim ? (R.SimCycles > 0.0 ? strFormat("%.3g", R.SimCycles) : "n/a")
+              : "";
+      printRow({Def.Name, schedulerName(R.S), TimeText, RelText, SimText,
+                R.Description.substr(0, 60)},
+               Widths);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

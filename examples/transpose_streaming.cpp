@@ -1,0 +1,81 @@
+//===- transpose_streaming.cpp - spatial tiling + non-temporal stores -----===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+// Listing 2 of the paper: transposition-and-masking. The classifier
+// detects a transposed input (same index variables, different dimension
+// order), so the spatial optimizer picks tall narrow tiles (width = one
+// cache line) that keep the constant-stride prefetcher effective on the
+// transposed array; since the output is never re-read, the store is
+// marked non-temporal. This example measures the NTI on/off difference.
+//
+//   ./build/examples/transpose_streaming [N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Optimizer.h"
+#include "jit/JIT.h"
+#include "lang/Lower.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ltp;
+
+int main(int Argc, char **Argv) {
+  const int64_t N = Argc > 1 ? std::atoll(Argv[1]) : 2048;
+  std::printf("transpose+mask: %lld x %lld (uint32)\n\n",
+              static_cast<long long>(N), static_cast<long long>(N));
+
+  Var X("x"), Y("y");
+  InputBuffer A("A", ir::Type::uint32(), 2);
+  InputBuffer B("B", ir::Type::uint32(), 2);
+  Func Out("Out");
+  Out(X, Y) = A(Y, X) & B(X, Y); // A appears transposed
+
+  Buffer<uint32_t> ABuf({N, N}), BBuf({N, N}), OutBuf({N, N});
+  ABuf.fillRandom(1);
+  BBuf.fillRandom(2);
+  std::map<std::string, BufferRef> Buffers = {
+      {"A", ABuf.ref()}, {"B", BBuf.ref()}, {"Out", OutBuf.ref()}};
+
+  if (!jitAvailable()) {
+    std::printf("no host C compiler found; nothing to time\n");
+    return 0;
+  }
+  JITCompiler Compiler;
+  std::vector<BufferBinding> Signature = {
+      BufferBinding::fromRef("A", ABuf.ref()),
+      BufferBinding::fromRef("B", BBuf.ref()),
+      BufferBinding::fromRef("Out", OutBuf.ref())};
+
+  ArchParams Arch = detectHost();
+  for (bool UseNTI : {false, true}) {
+    OptimizerOptions Options;
+    Options.EnableNonTemporal = UseNTI;
+    OptimizationResult R = optimize(Out, {N, N}, Arch, Options);
+
+    auto Kernel = Compiler.compile(lowerFunc(Out, {N, N}), Signature);
+    if (!Kernel) {
+      std::fprintf(stderr, "JIT error: %s\n", Kernel.getError().c_str());
+      return 1;
+    }
+    Kernel->run(Buffers);
+    double Seconds = timeBestOf(5, [&] { Kernel->run(Buffers); });
+    double GBps = 3.0 * static_cast<double>(N) * N * 4.0 / Seconds * 1e-9;
+    std::printf("%-14s %8.2f ms  (%.2f GB/s)   %s\n",
+                UseNTI ? "Proposed+NTI" : "Proposed", Seconds * 1e3, GBps,
+                R.Description.c_str());
+  }
+
+  // Show that the classifier chose the spatial path with A transposed.
+  StageAccessInfo Info = analyzeComputeStage(Out, {N, N});
+  Classification C = classify(Info);
+  std::printf("\nclassifier: %s; transposed inputs:",
+              statementClassName(C.Kind));
+  for (const std::string &Name : C.TransposedInputs)
+    std::printf(" %s", Name.c_str());
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+//===- ArchFile.cpp - platform description files --------------------------===//
+
+#include "arch/ArchFile.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace ltp;
+
+namespace {
+
+std::string trim(const std::string &S) {
+  size_t Begin = 0, End = S.size();
+  while (Begin != End && std::isspace(static_cast<unsigned char>(S[Begin])))
+    ++Begin;
+  while (End != Begin &&
+         std::isspace(static_cast<unsigned char>(S[End - 1])))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+/// Parses "64", "32K", "8M" into bytes; negative on error.
+int64_t parseSize(const std::string &Text) {
+  char *End = nullptr;
+  long long Value = std::strtoll(Text.c_str(), &End, 10);
+  if (End == Text.c_str() || Value < 0)
+    return -1;
+  std::string Suffix = trim(End);
+  if (Suffix.empty())
+    return Value;
+  if (Suffix == "K" || Suffix == "k")
+    return Value * 1024;
+  if (Suffix == "M" || Suffix == "m")
+    return Value * 1024 * 1024;
+  return -1;
+}
+
+/// Parses a boolean spelled true/false/1/0; -1 on error.
+int parseBool(const std::string &Text) {
+  if (Text == "true" || Text == "1")
+    return 1;
+  if (Text == "false" || Text == "0")
+    return 0;
+  return -1;
+}
+
+} // namespace
+
+ErrorOr<ArchParams> ltp::parseArchParams(const std::string &Text) {
+  ArchParams Arch = intelI7_6700();
+  Arch.Name = "custom";
+
+  std::istringstream In(Text);
+  std::string Line;
+  int LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    size_t Comment = Line.find('#');
+    if (Comment != std::string::npos)
+      Line = Line.substr(0, Comment);
+    Line = trim(Line);
+    if (Line.empty())
+      continue;
+    size_t Eq = Line.find('=');
+    if (Eq == std::string::npos)
+      return ErrorOr<ArchParams>::makeError(
+          strFormat("line %d: expected 'key = value'", LineNo));
+    std::string Key = trim(Line.substr(0, Eq));
+    std::string Value = trim(Line.substr(Eq + 1));
+    auto Fail = [&](const char *Why) {
+      return ErrorOr<ArchParams>::makeError(
+          strFormat("line %d: %s for key '%s': '%s'", LineNo, Why,
+                    Key.c_str(), Value.c_str()));
+    };
+
+    if (Key == "name") {
+      Arch.Name = Value;
+    } else if (Key == "l1.size" || Key == "l2.size" || Key == "l3.size") {
+      int64_t Bytes = parseSize(Value);
+      if (Bytes < 0)
+        return Fail("bad size");
+      (Key[1] == '1' ? Arch.L1 : Key[1] == '2' ? Arch.L2 : Arch.L3)
+          .SizeBytes = Bytes;
+    } else if (Key == "l1.ways" || Key == "l2.ways" || Key == "l3.ways") {
+      int64_t Ways = parseSize(Value);
+      if (Ways <= 0)
+        return Fail("bad way count");
+      (Key[1] == '1' ? Arch.L1 : Key[1] == '2' ? Arch.L2 : Arch.L3).Ways =
+          Ways;
+    } else if (Key == "l1.line" || Key == "l2.line" || Key == "l3.line") {
+      int64_t LineBytes = parseSize(Value);
+      if (LineBytes <= 0)
+        return Fail("bad line size");
+      (Key[1] == '1' ? Arch.L1 : Key[1] == '2' ? Arch.L2 : Arch.L3)
+          .LineBytes = LineBytes;
+    } else if (Key == "cores") {
+      Arch.NCores = static_cast<int>(parseSize(Value));
+      if (Arch.NCores <= 0)
+        return Fail("bad core count");
+    } else if (Key == "threads_per_core") {
+      Arch.NThreadsPerCore = static_cast<int>(parseSize(Value));
+      if (Arch.NThreadsPerCore <= 0)
+        return Fail("bad thread count");
+    } else if (Key == "vector_width") {
+      Arch.VectorWidth = static_cast<int>(parseSize(Value));
+      if (Arch.VectorWidth <= 0)
+        return Fail("bad vector width");
+    } else if (Key == "nt_stores") {
+      int B = parseBool(Value);
+      if (B < 0)
+        return Fail("bad boolean");
+      Arch.HasNonTemporalStores = B != 0;
+    } else if (Key == "shared_l2") {
+      int B = parseBool(Value);
+      if (B < 0)
+        return Fail("bad boolean");
+      Arch.SharedL2 = B != 0;
+    } else if (Key == "l1_next_line_prefetcher") {
+      int B = parseBool(Value);
+      if (B < 0)
+        return Fail("bad boolean");
+      Arch.L1NextLinePrefetcher = B != 0;
+    } else if (Key == "l2_prefetch_degree") {
+      Arch.L2PrefetchDegree = static_cast<int>(parseSize(Value));
+      if (Arch.L2PrefetchDegree < 0)
+        return Fail("bad prefetch degree");
+    } else if (Key == "l2_max_prefetch_distance") {
+      Arch.L2MaxPrefetchDistance = static_cast<int>(parseSize(Value));
+      if (Arch.L2MaxPrefetchDistance < 0)
+        return Fail("bad prefetch distance");
+    } else if (Key == "a2") {
+      Arch.A2 = std::strtod(Value.c_str(), nullptr);
+    } else if (Key == "a3") {
+      Arch.A3 = std::strtod(Value.c_str(), nullptr);
+    } else {
+      return ErrorOr<ArchParams>::makeError(
+          strFormat("line %d: unknown key '%s'", LineNo, Key.c_str()));
+    }
+  }
+  if (Arch.L1.SizeBytes <= 0 || Arch.L2.SizeBytes <= 0)
+    return ErrorOr<ArchParams>::makeError(
+        "platform requires non-empty l1.size and l2.size");
+  return Arch;
+}
+
+ErrorOr<ArchParams> ltp::loadArchParams(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In.good())
+    return ErrorOr<ArchParams>::makeError("cannot open '" + Path + "'");
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  return parseArchParams(Text.str());
+}
+
+std::string ltp::archParamsToText(const ArchParams &Arch) {
+  std::string Out;
+  Out += strFormat("name = %s\n", Arch.Name.c_str());
+  Out += strFormat("l1.size = %lldK\n",
+                   static_cast<long long>(Arch.L1.SizeBytes / 1024));
+  Out += strFormat("l1.ways = %lld\n",
+                   static_cast<long long>(Arch.L1.Ways));
+  Out += strFormat("l1.line = %lld\n",
+                   static_cast<long long>(Arch.L1.LineBytes));
+  Out += strFormat("l2.size = %lldK\n",
+                   static_cast<long long>(Arch.L2.SizeBytes / 1024));
+  Out += strFormat("l2.ways = %lld\n",
+                   static_cast<long long>(Arch.L2.Ways));
+  Out += strFormat("l2.line = %lld\n",
+                   static_cast<long long>(Arch.L2.LineBytes));
+  Out += strFormat("l3.size = %lldK\n",
+                   static_cast<long long>(Arch.L3.SizeBytes / 1024));
+  Out += strFormat("l3.ways = %lld\n",
+                   static_cast<long long>(Arch.L3.Ways));
+  Out += strFormat("cores = %d\n", Arch.NCores);
+  Out += strFormat("threads_per_core = %d\n", Arch.NThreadsPerCore);
+  Out += strFormat("vector_width = %d\n", Arch.VectorWidth);
+  Out += strFormat("nt_stores = %s\n",
+                   Arch.HasNonTemporalStores ? "true" : "false");
+  Out += strFormat("shared_l2 = %s\n", Arch.SharedL2 ? "true" : "false");
+  Out += strFormat("l1_next_line_prefetcher = %s\n",
+                   Arch.L1NextLinePrefetcher ? "true" : "false");
+  Out += strFormat("l2_prefetch_degree = %d\n", Arch.L2PrefetchDegree);
+  Out += strFormat("l2_max_prefetch_distance = %d\n",
+                   Arch.L2MaxPrefetchDistance);
+  Out += strFormat("a2 = %g\n", Arch.A2);
+  Out += strFormat("a3 = %g\n", Arch.A3);
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===- ArchFile.h - platform description files ------------------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loads and saves ArchParams as simple `key = value` files so new target
+/// platforms can be described without recompiling — the optimizer is
+/// supposed to run *without access to the target machine* (a selling
+/// point of analytical models the paper emphasizes against autotuning).
+///
+/// Format (sizes accept K/M suffixes; `#` starts a comment):
+///
+///   name = Intel i7-6700
+///   l1.size = 32K
+///   l1.ways = 8
+///   l1.line = 64
+///   l2.size = 256K
+///   l2.ways = 8
+///   l3.size = 8M        # 0 = no L3
+///   l3.ways = 16
+///   cores = 4
+///   threads_per_core = 2
+///   vector_width = 8
+///   nt_stores = true
+///   shared_l2 = false
+///   l1_next_line_prefetcher = true
+///   l2_prefetch_degree = 2
+///   l2_max_prefetch_distance = 20
+///   a2 = 1.0
+///   a3 = 4.0
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_ARCH_ARCHFILE_H
+#define LTP_ARCH_ARCHFILE_H
+
+#include "arch/ArchParams.h"
+#include "support/ErrorOr.h"
+
+#include <string>
+
+namespace ltp {
+
+/// Parses an architecture description from \p Text. Unknown keys are an
+/// error (they are most likely typos of known ones); omitted keys keep
+/// the i7-6700 defaults.
+ErrorOr<ArchParams> parseArchParams(const std::string &Text);
+
+/// Loads a description from \p Path.
+ErrorOr<ArchParams> loadArchParams(const std::string &Path);
+
+/// Renders \p Arch in the file format (round-trips through parse).
+std::string archParamsToText(const ArchParams &Arch);
+
+} // namespace ltp
+
+#endif // LTP_ARCH_ARCHFILE_H

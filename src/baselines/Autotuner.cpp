@@ -1,0 +1,184 @@
+//===- Autotuner.cpp - OpenTuner-style schedule search -------------------===//
+
+#include "baselines/Autotuner.h"
+
+#include "benchmarks/PipelineRunner.h"
+#include "core/AccessInfo.h"
+#include "support/Format.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+using namespace ltp;
+
+namespace {
+
+/// One randomly drawn schedule for one stage.
+struct StageDecision {
+  /// Tile per pure loop (== extent means untiled).
+  std::map<std::string, int64_t> Tiles;
+  /// Permutation seed for the middle loops.
+  uint32_t OrderSeed = 0;
+  bool Parallel = true;
+  bool Vectorize = true;
+};
+
+using PipelineDecision = std::vector<StageDecision>;
+
+StageDecision drawDecision(const StageAccessInfo &Info, std::mt19937 &Rng,
+                           const AutotuneOptions &Options) {
+  StageDecision D;
+  for (const LoopInfo &Loop : Info.Loops) {
+    if (Loop.IsReduction && !Options.TileReductions)
+      continue;
+    if (Loop.Extent < 16)
+      continue;
+    // Tile sizes are powers of two between 8 and the extent; "untiled" is
+    // one more outcome.
+    int MaxLog = 0;
+    while ((int64_t(1) << (MaxLog + 1)) <= Loop.Extent)
+      ++MaxLog;
+    std::uniform_int_distribution<int> Dist(3, MaxLog + 1);
+    int Log = Dist(Rng);
+    if (Log <= MaxLog)
+      D.Tiles[Loop.Name] = int64_t(1) << Log;
+  }
+  D.OrderSeed = Rng();
+  D.Parallel = std::uniform_int_distribution<int>(0, 9)(Rng) != 0;
+  D.Vectorize = std::uniform_int_distribution<int>(0, 9)(Rng) != 0;
+  return D;
+}
+
+/// Applies one decision to one stage.
+void applyDecision(Func &F, int StageIndex, const StageAccessInfo &Info,
+                   const StageDecision &D, const ArchParams &Arch) {
+  Stage S = StageIndex < 0 ? F.pureStage() : F.update(StageIndex);
+
+  std::vector<std::string> Intra;
+  std::vector<std::string> Inter;
+  const std::string Column = Info.Loops.front().Name;
+  for (const LoopInfo &Loop : Info.Loops) {
+    auto It = D.Tiles.find(Loop.Name);
+    bool Tiled = It != D.Tiles.end() && It->second < Loop.Extent;
+    if (Tiled) {
+      S.split(Loop.Name, Loop.Name + "_t", Loop.Name + "_i", It->second);
+      Intra.push_back(Loop.Name + "_i");
+      Inter.push_back(Loop.Name + "_t");
+    } else {
+      Intra.push_back(Loop.Name);
+    }
+  }
+
+  // Shuffle the loops except the innermost (kept for vectorization) and
+  // the outermost inter-tile loop (kept for parallelism).
+  std::mt19937 OrderRng(D.OrderSeed);
+  if (Intra.size() > 1)
+    std::shuffle(Intra.begin() + 1, Intra.end(), OrderRng);
+  if (Inter.size() > 1)
+    std::shuffle(Inter.begin(), Inter.end() - 1, OrderRng);
+
+  std::vector<VarName> Order;
+  for (const std::string &Name : Intra)
+    Order.push_back(Name);
+  for (const std::string &Name : Inter)
+    Order.push_back(Name);
+  if (Order.size() > 1)
+    S.reorder(Order);
+
+  if (D.Parallel && Arch.NCores > 1) {
+    // Parallelize the outermost pure loop of the final order.
+    std::string Candidate;
+    for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+      std::string Base = It->str();
+      if (Base.size() > 2 && (Base.ends_with("_t") || Base.ends_with("_i")))
+        Base = Base.substr(0, Base.size() - 2);
+      for (const LoopInfo &Loop : Info.Loops)
+        if (Loop.Name == Base && !Loop.IsReduction)
+          Candidate = It->str();
+      if (!Candidate.empty())
+        break;
+    }
+    if (!Candidate.empty())
+      S.parallel(Candidate);
+  }
+  if (D.Vectorize && Arch.VectorWidth > 1) {
+    auto It = D.Tiles.find(Column);
+    bool Tiled = It != D.Tiles.end() &&
+                 It->second < Info.Loops.front().Extent;
+    int64_t InnerExtent = Tiled ? It->second : Info.Loops.front().Extent;
+    if (InnerExtent >= Arch.VectorWidth)
+      S.vectorize(Tiled ? Column + "_i" : Column);
+  }
+}
+
+void applyPipelineDecision(BenchmarkInstance &Instance,
+                           const PipelineDecision &Decision,
+                           const ArchParams &Arch) {
+  for (size_t I = 0; I != Instance.Stages.size(); ++I) {
+    Func &F = Instance.Stages[I];
+    F.clearSchedules();
+    int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+    StageAccessInfo Info =
+        analyzeStage(F, ComputeStage, Instance.StageExtents[I]);
+    applyDecision(F, ComputeStage, Info, Decision[I], Arch);
+  }
+}
+
+std::string describeDecision(const PipelineDecision &Decision) {
+  std::vector<std::string> Parts;
+  for (const StageDecision &D : Decision) {
+    std::vector<std::string> Tiles;
+    for (const auto &[Var, T] : D.Tiles)
+      Tiles.push_back(strFormat("%s=%lld", Var.c_str(),
+                                static_cast<long long>(T)));
+    Parts.push_back("{" + join(Tiles, ",") + "}");
+  }
+  return join(Parts, " ; ");
+}
+
+} // namespace
+
+AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
+                              JITCompiler &Compiler,
+                              const AutotuneOptions &Options) {
+  std::mt19937 Rng(Options.Seed);
+  ArchParams Arch = detectHost();
+  Timer Budget;
+
+  AutotuneOutcome Outcome;
+  PipelineDecision BestDecision;
+
+  while (Budget.elapsedSeconds() < Options.BudgetSeconds) {
+    PipelineDecision Decision;
+    for (size_t I = 0; I != Instance.Stages.size(); ++I) {
+      Func &F = Instance.Stages[I];
+      int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+      StageAccessInfo Info =
+          analyzeStage(F, ComputeStage, Instance.StageExtents[I]);
+      Decision.push_back(drawDecision(Info, Rng, Options));
+    }
+
+    applyPipelineDecision(Instance, Decision, Arch);
+    auto Pipeline = compilePipeline(Instance, Compiler);
+    if (!Pipeline) {
+      ++Outcome.CandidatesFailed;
+      continue;
+    }
+    double Seconds = timeBestOf(
+        static_cast<unsigned>(std::max(1, Options.RunsPerCandidate)),
+        [&] { Pipeline->run(Instance); });
+    ++Outcome.CandidatesEvaluated;
+    if (Outcome.BestSeconds < 0.0 || Seconds < Outcome.BestSeconds) {
+      Outcome.BestSeconds = Seconds;
+      BestDecision = Decision;
+    }
+  }
+
+  if (!BestDecision.empty()) {
+    applyPipelineDecision(Instance, BestDecision, Arch);
+    Outcome.BestDescription = describeDecision(BestDecision);
+  }
+  return Outcome;
+}

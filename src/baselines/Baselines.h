@@ -1,0 +1,67 @@
+//===- Baselines.h - comparison schedulers (Section 5) ----------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four comparison points of the paper's evaluation:
+///
+///  * **Baseline** — "the most basic optimization a developer may
+///    perform": parallelize the outer loop, vectorize the inner one
+///    (Section 5.1).
+///  * **Auto-Scheduler** — a reimplementation of the tiling core of the
+///    Halide Auto-Scheduler (Mullapudi et al. [16]) with its documented
+///    limitations: a single cache level and square tiles over the output
+///    dimensions only.
+///  * **TSS** (Mehta et al. [14]) — L1+L2 reuse with associativity but a
+///    prefetch-unaware miss model.
+///  * **TTS** / TurboTiling (Mehta et al. [15]) — L2+LLC reuse assuming
+///    prefetchers fill the outer levels, but with prefetched references
+///    still counted as cold misses in the model.
+///
+/// TSS/TTS produce TemporalSchedule values so they flow through the same
+/// directive application as the proposed optimizer; per the paper, both
+/// are granted the best loop permutation (Section 5.2: "we try every
+/// possible loop permutation ... and pick the one that results in the
+/// best performance").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_BASELINES_BASELINES_H
+#define LTP_BASELINES_BASELINES_H
+
+#include "core/Optimizer.h"
+#include "lang/Func.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ltp {
+
+/// Developer baseline: parallel outermost pure loop + vectorized column
+/// loop on every stage of \p F.
+void applyBaselineSchedule(Func &F,
+                           const std::vector<int64_t> &OutputExtents,
+                           const ArchParams &Arch);
+
+/// Auto-Scheduler reimplementation: square power-of-two tiles over the
+/// output dimensions sized against a single cache level (L2), reductions
+/// untiled; parallel outer tiles, vectorized inner columns.
+void applyAutoSchedulerSchedule(Func &F,
+                                const std::vector<int64_t> &OutputExtents,
+                                const ArchParams &Arch);
+
+/// TSS tile-size selection (prefetch-unaware L1+L2 model).
+TemporalSchedule optimizeTSS(const StageAccessInfo &Info,
+                             const ArchParams &Arch);
+
+/// TTS / TurboTiling tile-size selection (L2+LLC model, prefetch fills
+/// assumed but not modeled in the miss counts).
+TemporalSchedule optimizeTTS(const StageAccessInfo &Info,
+                             const ArchParams &Arch);
+
+} // namespace ltp
+
+#endif // LTP_BASELINES_BASELINES_H

@@ -1,0 +1,94 @@
+//===- Benchmarks.h - the 12 paper benchmarks (Table 4) ---------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite of Table 4 as DSL pipelines with input generators,
+/// native reference implementations (correctness oracles) and the
+/// paper's / container-scaled problem sizes:
+///
+///   convlayer  3x3xCxC convolution layer        (temporal)
+///   doitgen    multiresolution analysis kernel  (temporal)
+///   matmul     matrix multiplication            (temporal)
+///   3mm        three chained matmuls            (temporal)
+///   gemm       generalized matmul               (temporal)
+///   trmm       triangular matmul (out-of-place; see DESIGN.md)
+///   syrk       symmetric rank-k update          (temporal)
+///   syr2k      symmetric rank-2k update         (temporal)
+///   tpm        transposition + masking          (spatial, NTI)
+///   tp         transposition                    (spatial, NTI)
+///   copy       array copy                       (no-transform, NTI)
+///   mask       array mask                       (no-transform, NTI)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_BENCHMARKS_BENCHMARKS_H
+#define LTP_BENCHMARKS_BENCHMARKS_H
+
+#include "lang/Func.h"
+#include "runtime/Buffer.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ltp {
+
+/// A fully materialized benchmark: pipeline stages, bound buffers, and a
+/// reference oracle.
+struct BenchmarkInstance {
+  std::string Name;
+  /// Pipeline stages in realization order (compute_root semantics: each
+  /// stage realizes fully into its named buffer before the next runs).
+  std::vector<Func> Stages;
+  /// Output extents of each stage (dimension 0 first).
+  std::vector<std::vector<int64_t>> StageExtents;
+  /// All buffers by name: external inputs plus every stage output.
+  std::map<std::string, BufferRef> Buffers;
+  /// Name of the final output buffer.
+  std::string OutputName;
+  /// Computes the expected output into ExpectedRef (native loops).
+  std::function<void()> FillExpected;
+  BufferRef ExpectedRef;
+  /// Floating-point (or element) operations per full run, for reporting.
+  double Work = 0.0;
+  /// Keeps the typed buffers alive.
+  std::vector<std::shared_ptr<void>> Storage;
+};
+
+/// Static description of one benchmark.
+struct BenchmarkDef {
+  std::string Name;
+  std::string Description;
+  /// Container-scaled default problem size.
+  int64_t DefaultSize;
+  /// The paper's Table-4 problem size.
+  int64_t PaperSize;
+  /// Materializes an instance at the given size.
+  std::function<BenchmarkInstance(int64_t)> Create;
+};
+
+/// All Table-4 benchmarks, in the paper's order.
+const std::vector<BenchmarkDef> &allBenchmarks();
+
+/// Kernels beyond the paper's suite (PolyBench gemver/atax/mvt/bicg and a
+/// Jacobi stencil) exercising 1-D reductions, multi-stage pipelines and
+/// the stencil classification path. Defined in ExtendedBenchmarks.cpp.
+const std::vector<BenchmarkDef> &extendedBenchmarks();
+
+/// Finds a benchmark by name in either suite; null when unknown.
+const BenchmarkDef *findBenchmark(const std::string &Name);
+
+/// Compares the final output against the reference oracle (which is
+/// computed on demand). Returns true when every element matches within a
+/// type-appropriate tolerance.
+bool verifyOutput(const BenchmarkInstance &Instance);
+
+} // namespace ltp
+
+#endif // LTP_BENCHMARKS_BENCHMARKS_H

@@ -1,0 +1,103 @@
+//===- PipelineRunner.cpp - lower/execute/simulate benchmark pipelines ---===//
+
+#include "benchmarks/PipelineRunner.h"
+
+#include "interp/Interpreter.h"
+#include "lang/Bounds.h"
+#include "lang/Lower.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace ltp;
+
+namespace {
+
+/// Static bounds check of every stage against the bound buffers; schedule
+/// bugs surface here with a diagnostic instead of as a wild pointer in
+/// JIT-compiled code.
+void checkBounds(const std::vector<ir::StmtPtr> &Lowered,
+                 const std::map<std::string, BufferRef> &Buffers) {
+  for (const ir::StmtPtr &S : Lowered) {
+    std::string Diag = validateAccesses(S, Buffers);
+    if (!Diag.empty()) {
+      std::fprintf(stderr, "fatal: schedule accesses out of bounds: %s\n",
+                   Diag.c_str());
+      assert(false && "schedule accesses out of bounds");
+    }
+  }
+}
+
+} // namespace
+
+std::vector<ir::StmtPtr>
+ltp::lowerPipeline(const BenchmarkInstance &Instance) {
+  assert(Instance.Stages.size() == Instance.StageExtents.size() &&
+         "stage/extent count mismatch");
+  std::vector<ir::StmtPtr> Lowered;
+  Lowered.reserve(Instance.Stages.size());
+  for (size_t S = 0; S != Instance.Stages.size(); ++S)
+    Lowered.push_back(
+        lowerFunc(Instance.Stages[S], Instance.StageExtents[S]));
+  return Lowered;
+}
+
+void ltp::runInterpreted(const BenchmarkInstance &Instance,
+                         bool RunParallel) {
+  InterpOptions Options;
+  Options.RunParallel = RunParallel;
+  std::vector<ir::StmtPtr> Lowered = lowerPipeline(Instance);
+  checkBounds(Lowered, Instance.Buffers);
+  for (const ir::StmtPtr &S : Lowered)
+    interpret(S, Instance.Buffers, Options);
+}
+
+ErrorOr<CompiledPipeline>
+ltp::compilePipeline(const BenchmarkInstance &Instance,
+                     JITCompiler &Compiler, const CodeGenOptions &Options) {
+  // One signature shared by all stages: every named buffer, sorted by
+  // name (std::map order), so stage kernels can be called uniformly.
+  std::vector<BufferBinding> Signature;
+  for (const auto &[Name, Ref] : Instance.Buffers)
+    Signature.push_back(BufferBinding::fromRef(Name, Ref));
+
+  std::vector<ir::StmtPtr> Lowered = lowerPipeline(Instance);
+  checkBounds(Lowered, Instance.Buffers);
+  CompiledPipeline Pipeline;
+  for (const ir::StmtPtr &S : Lowered) {
+    auto Kernel = Compiler.compile(S, Signature, Options);
+    if (!Kernel)
+      return ErrorOr<CompiledPipeline>::makeError(Kernel.getError());
+    Pipeline.Kernels.push_back(std::move(*Kernel));
+  }
+  return Pipeline;
+}
+
+SimResult ltp::simulatePipeline(const BenchmarkInstance &Instance,
+                                const ArchParams &Arch) {
+  MemoryHierarchy Hierarchy(Arch);
+  uint64_t Accesses = 0;
+  InterpOptions Options;
+  Options.Hook = [&](AccessKind Kind, uint64_t Address, uint32_t Size) {
+    ++Accesses;
+    switch (Kind) {
+    case AccessKind::Load:
+      Hierarchy.load(Address, Size);
+      return;
+    case AccessKind::Store:
+      Hierarchy.store(Address, Size, /*NonTemporal=*/false);
+      return;
+    case AccessKind::NonTemporalStore:
+      Hierarchy.store(Address, Size, /*NonTemporal=*/true);
+      return;
+    }
+  };
+  for (const ir::StmtPtr &S : lowerPipeline(Instance))
+    interpret(S, Instance.Buffers, Options);
+
+  SimResult Result;
+  Result.Stats = Hierarchy.stats();
+  Result.EstimatedCycles = Hierarchy.estimatedCycles();
+  Result.Accesses = Accesses;
+  return Result;
+}

@@ -1,0 +1,55 @@
+//===- PipelineRunner.h - lower/execute/simulate benchmark pipelines -*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue that takes a scheduled BenchmarkInstance through each execution
+/// engine: lowering, the interpreter (correctness), the JIT (wall-clock
+/// measurements) and the cache simulator (platform-configured miss
+/// profiles). Stages run in order with compute_root semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_BENCHMARKS_PIPELINERUNNER_H
+#define LTP_BENCHMARKS_PIPELINERUNNER_H
+
+#include "benchmarks/Benchmarks.h"
+#include "cachesim/TraceRunner.h"
+#include "jit/JIT.h"
+
+#include <vector>
+
+namespace ltp {
+
+/// Lowers every stage of the pipeline with its current schedule.
+std::vector<ir::StmtPtr> lowerPipeline(const BenchmarkInstance &Instance);
+
+/// Runs the pipeline through the interpreter.
+void runInterpreted(const BenchmarkInstance &Instance,
+                    bool RunParallel = false);
+
+/// A pipeline compiled to native kernels (one per stage).
+struct CompiledPipeline {
+  std::vector<CompiledKernel> Kernels;
+
+  void run(const BenchmarkInstance &Instance) const {
+    for (const CompiledKernel &Kernel : Kernels)
+      Kernel.run(Instance.Buffers);
+  }
+};
+
+/// Compiles every stage with the host C compiler.
+ErrorOr<CompiledPipeline>
+compilePipeline(const BenchmarkInstance &Instance, JITCompiler &Compiler,
+                const CodeGenOptions &Options = CodeGenOptions());
+
+/// Runs the pipeline through the cache simulator configured from \p Arch
+/// and returns the merged miss profile.
+SimResult simulatePipeline(const BenchmarkInstance &Instance,
+                           const ArchParams &Arch);
+
+} // namespace ltp
+
+#endif // LTP_BENCHMARKS_PIPELINERUNNER_H

@@ -1,0 +1,166 @@
+//===- Cache.cpp - set-associative cache with LRU/PLRU replacement -------===//
+
+#include "cachesim/Cache.h"
+
+#include <cassert>
+
+using namespace ltp;
+
+namespace {
+
+/// Largest power of two <= V.
+int64_t floorPow2(int64_t V) {
+  int64_t P = 1;
+  while (P * 2 <= V)
+    P *= 2;
+  return P;
+}
+
+} // namespace
+
+CacheLevel::CacheLevel(const CacheParams &Params, ReplacementPolicy Policy)
+    : Params(Params), Policy(Policy) {
+  assert(Params.SizeBytes > 0 && "cache level requires a size");
+  assert(Params.Ways > 0 && Params.LineBytes > 0 &&
+         "cache level requires ways and a line size");
+  NumSets = Params.numSets();
+  assert(NumSets > 0 && "cache smaller than one set");
+  Lines.resize(static_cast<size_t>(NumSets * Params.Ways));
+  // Tree-PLRU needs a power-of-two way count and its heap-indexed bit
+  // tree must fit one word; degrade gracefully otherwise.
+  if (Policy == ReplacementPolicy::TreePLRU &&
+      (floorPow2(Params.Ways) != Params.Ways || Params.Ways > 32))
+    this->Policy = ReplacementPolicy::LRU;
+  if (this->Policy == ReplacementPolicy::TreePLRU)
+    PlruBits.resize(static_cast<size_t>(NumSets), 0);
+}
+
+CacheLevel::Line *CacheLevel::findLine(uint64_t LineAddr) {
+  uint64_t Set = LineAddr % static_cast<uint64_t>(NumSets);
+  Line *SetBase = &Lines[Set * Params.Ways];
+  for (int64_t W = 0; W != Params.Ways; ++W)
+    if (SetBase[W].Valid && SetBase[W].Tag == LineAddr)
+      return &SetBase[W];
+  return nullptr;
+}
+
+const CacheLevel::Line *CacheLevel::findLine(uint64_t LineAddr) const {
+  return const_cast<CacheLevel *>(this)->findLine(LineAddr);
+}
+
+void CacheLevel::touch(uint64_t Set, int64_t Way) {
+  if (Policy == ReplacementPolicy::LRU) {
+    Lines[Set * Params.Ways + Way].LastUse = Clock;
+    return;
+  }
+  // Tree-PLRU: walk root->leaf toward Way, pointing every node away from
+  // the path taken.
+  uint64_t &Bits = PlruBits[Set];
+  int64_t Node = 0;          // tree node index, root = 0
+  int64_t Lo = 0, Hi = Params.Ways; // way range covered by Node
+  while (Hi - Lo > 1) {
+    int64_t Mid = (Lo + Hi) / 2;
+    bool Right = Way >= Mid;
+    // Bit semantics: set bit => next victim search goes left.
+    if (Right)
+      Bits |= (uint64_t(1) << Node);
+    else
+      Bits &= ~(uint64_t(1) << Node);
+    Node = 2 * Node + (Right ? 2 : 1);
+    (Right ? Lo : Hi) = Mid;
+  }
+}
+
+int64_t CacheLevel::pickVictim(uint64_t Set) const {
+  if (Policy == ReplacementPolicy::LRU) {
+    const Line *SetBase = &Lines[Set * Params.Ways];
+    int64_t Victim = 0;
+    for (int64_t W = 1; W != Params.Ways; ++W)
+      if (SetBase[W].LastUse < SetBase[Victim].LastUse)
+        Victim = W;
+    return Victim;
+  }
+  uint64_t Bits = PlruBits[Set];
+  int64_t Node = 0;
+  int64_t Lo = 0, Hi = Params.Ways;
+  while (Hi - Lo > 1) {
+    int64_t Mid = (Lo + Hi) / 2;
+    bool GoLeft = (Bits >> Node) & 1;
+    Node = 2 * Node + (GoLeft ? 1 : 2);
+    (GoLeft ? Hi : Lo) = Mid;
+  }
+  return Lo;
+}
+
+bool CacheLevel::access(uint64_t LineAddr, bool MarkDirty) {
+  ++Clock;
+  if (Line *L = findLine(LineAddr)) {
+    if (L->Prefetched) {
+      ++Stats.PrefetchHits;
+      // The first demand hit consumes the prefetch credit.
+      L->Prefetched = false;
+    }
+    uint64_t Set = LineAddr % static_cast<uint64_t>(NumSets);
+    touch(Set, L - &Lines[Set * Params.Ways]);
+    L->Dirty |= MarkDirty;
+    ++Stats.DemandHits;
+    return true;
+  }
+  ++Stats.DemandMisses;
+  return false;
+}
+
+bool CacheLevel::probe(uint64_t LineAddr) const {
+  return findLine(LineAddr) != nullptr;
+}
+
+bool CacheLevel::fill(uint64_t LineAddr, bool IsPrefetch, bool Dirty) {
+  ++Clock;
+  uint64_t Set = LineAddr % static_cast<uint64_t>(NumSets);
+  if (Line *Existing = findLine(LineAddr)) {
+    // Refill of a resident line (e.g. racing prefetch): refresh recency.
+    touch(Set, Existing - &Lines[Set * Params.Ways]);
+    Existing->Dirty |= Dirty;
+    return false;
+  }
+  Line *SetBase = &Lines[Set * Params.Ways];
+  int64_t Victim = -1;
+  for (int64_t W = 0; W != Params.Ways; ++W)
+    if (!SetBase[W].Valid) {
+      Victim = W;
+      break;
+    }
+  if (Victim < 0)
+    Victim = pickVictim(Set);
+  Line &V = SetBase[Victim];
+  bool EvictedDirty = V.Valid && V.Dirty;
+  if (V.Valid)
+    ++Stats.Evictions;
+  V.Valid = true;
+  V.Tag = LineAddr;
+  V.Prefetched = IsPrefetch;
+  V.Dirty = Dirty;
+  V.LastUse = Clock;
+  touch(Set, Victim);
+  if (IsPrefetch)
+    ++Stats.PrefetchFills;
+  return EvictedDirty;
+}
+
+void CacheLevel::invalidate(uint64_t LineAddr) {
+  if (Line *L = findLine(LineAddr))
+    L->Valid = false;
+}
+
+void CacheLevel::markDirty(uint64_t LineAddr) {
+  if (Line *L = findLine(LineAddr))
+    L->Dirty = true;
+}
+
+uint64_t CacheLevel::countDirtyLines() const {
+  uint64_t Count = 0;
+  for (const Line &L : Lines)
+    if (L.Valid && L.Dirty)
+      ++Count;
+  return Count;
+}

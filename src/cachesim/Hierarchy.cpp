@@ -1,0 +1,204 @@
+//===- Hierarchy.cpp - multi-level cache hierarchy with prefetchers ------===//
+
+#include "cachesim/Hierarchy.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace ltp;
+
+MemoryHierarchy::MemoryHierarchy(const ArchParams &Arch,
+                                 ReplacementPolicy Policy)
+    : Arch(Arch), LineBytes(Arch.L1.LineBytes) {
+  assert(Arch.L1.SizeBytes > 0 && Arch.L2.SizeBytes > 0 &&
+         "hierarchy requires at least L1 and L2");
+  L1 = std::make_unique<CacheLevel>(Arch.L1, Policy);
+  L2 = std::make_unique<CacheLevel>(Arch.L2, Policy);
+  if (Arch.L3.SizeBytes > 0)
+    L3 = std::make_unique<CacheLevel>(Arch.L3, Policy);
+}
+
+void MemoryHierarchy::demandAccess(uint64_t LineAddr) {
+  if (L1->access(LineAddr))
+    return;
+  if (L2->access(LineAddr)) {
+    L1->fill(LineAddr, /*IsPrefetch=*/false);
+    return;
+  }
+  if (L3) {
+    if (!L3->access(LineAddr)) {
+      ++MemoryAccesses;
+      if (L3->fill(LineAddr, /*IsPrefetch=*/false))
+        ++WritebacksCounter;
+    }
+    // Inner-level eviction of a dirty line folds into the LLC copy in this
+    // inclusive model, so only LLC write-backs reach memory.
+    L2->fill(LineAddr, /*IsPrefetch=*/false);
+  } else {
+    ++MemoryAccesses;
+    if (L2->fill(LineAddr, /*IsPrefetch=*/false))
+      ++WritebacksCounter;
+  }
+  L1->fill(LineAddr, /*IsPrefetch=*/false);
+}
+
+void MemoryHierarchy::l1NextLinePrefetch(uint64_t LineAddr) {
+  if (!Arch.L1NextLinePrefetcher)
+    return;
+  // Next-line streamer: bring LineAddr+1 into L1 after every reference.
+  uint64_t Next = LineAddr + 1;
+  if (L1->probe(Next))
+    return;
+  ++PrefetchIssuedL1;
+  // The prefetch fetches through the hierarchy without demand statistics.
+  if (!L2->probe(Next)) {
+    bool InL3 = L3 && L3->probe(Next);
+    if (!InL3) {
+      ++PrefetchMemFills;
+      if (L3 && L3->fill(Next, /*IsPrefetch=*/true))
+        ++WritebacksCounter;
+    }
+    if (L2->fill(Next, /*IsPrefetch=*/true) && !L3)
+      ++WritebacksCounter;
+  }
+  L1->fill(Next, /*IsPrefetch=*/true);
+}
+
+void MemoryHierarchy::l2StridePrefetch(uint64_t LineAddr) {
+  // Per-4KB-page stream detection, as in Intel's L2 streamer.
+  uint64_t Page = (LineAddr * static_cast<uint64_t>(LineBytes)) >> 12;
+  Stream &S = Streams[Page];
+  int64_t Stride = static_cast<int64_t>(LineAddr) -
+                   static_cast<int64_t>(S.LastLine);
+  if (S.Confirmations > 0 && Stride == S.Stride && Stride != 0) {
+    ++S.Confirmations;
+  } else if (Stride != 0) {
+    S.Stride = Stride;
+    S.Confirmations = 1;
+  }
+  S.LastLine = LineAddr;
+  if (S.Confirmations < 2 || S.Stride == 0)
+    return;
+  if (std::llabs(S.Stride) > Arch.L2MaxPrefetchDistance)
+    return; // stride too large for the streamer to be useful
+
+  for (int K = 1; K <= Arch.L2PrefetchDegree; ++K) {
+    int64_t Distance = S.Stride * K;
+    if (std::llabs(Distance) > Arch.L2MaxPrefetchDistance)
+      break;
+    int64_t Target = static_cast<int64_t>(LineAddr) + Distance;
+    if (Target < 0)
+      break;
+    uint64_t T = static_cast<uint64_t>(Target);
+    if (L2->probe(T))
+      continue;
+    ++PrefetchIssuedL2;
+    bool InL3 = L3 && L3->probe(T);
+    if (!InL3) {
+      ++PrefetchMemFills;
+      if (L3 && L3->fill(T, /*IsPrefetch=*/true))
+        ++WritebacksCounter;
+    }
+    if (L2->fill(T, /*IsPrefetch=*/true) && !L3)
+      ++WritebacksCounter;
+  }
+}
+
+void MemoryHierarchy::load(uint64_t Address, uint32_t SizeBytes) {
+  uint64_t First = Address / static_cast<uint64_t>(LineBytes);
+  uint64_t Last =
+      (Address + SizeBytes - 1) / static_cast<uint64_t>(LineBytes);
+  for (uint64_t Line = First; Line <= Last; ++Line) {
+    bool WasInL1 = L1->probe(Line);
+    demandAccess(Line);
+    l1NextLinePrefetch(Line);
+    if (!WasInL1)
+      l2StridePrefetch(Line);
+  }
+}
+
+void MemoryHierarchy::store(uint64_t Address, uint32_t SizeBytes,
+                            bool NonTemporal) {
+  uint64_t First = Address / static_cast<uint64_t>(LineBytes);
+  uint64_t Last =
+      (Address + SizeBytes - 1) / static_cast<uint64_t>(LineBytes);
+  if (NonTemporal) {
+    // Account the store once, not once per touched line.
+    ++NonTemporalStores;
+    NTBytes += SizeBytes;
+  }
+  for (uint64_t Line = First; Line <= Last; ++Line) {
+    if (NonTemporal) {
+      // Streaming store: bypass the hierarchy and drop stale copies; the
+      // write-combined DRAM traffic is accounted above, amortized into
+      // whole lines by stats().
+      L1->invalidate(Line);
+      L2->invalidate(Line);
+      if (L3)
+        L3->invalidate(Line);
+      continue;
+    }
+    // Write-allocate: same path as a load, then mark dirty at the LLC for
+    // write-back accounting.
+    bool WasInL1 = L1->probe(Line);
+    demandAccess(Line);
+    l1NextLinePrefetch(Line);
+    if (!WasInL1)
+      l2StridePrefetch(Line);
+    // Write-back bookkeeping only: the store was already counted by
+    // demandAccess; do not inflate LLC demand statistics.
+    if (L3)
+      L3->markDirty(Line);
+    else
+      L2->markDirty(Line);
+  }
+}
+
+HierarchyStats MemoryHierarchy::stats() const {
+  HierarchyStats S;
+  S.L1 = L1->stats();
+  S.L2 = L2->stats();
+  if (L3)
+    S.L3 = L3->stats();
+  S.MemoryAccesses = MemoryAccesses;
+  S.PrefetchMemoryFills = PrefetchMemFills;
+  // Dirty lines still resident must eventually reach DRAM; count them as
+  // pending write-backs so short traces price store traffic fairly.
+  S.Writebacks = WritebacksCounter +
+                 (L3 ? L3->countDirtyLines() : L2->countDirtyLines());
+  S.NonTemporalStores = NonTemporalStores;
+  S.NonTemporalLines = NTBytes / static_cast<uint64_t>(LineBytes);
+  S.PrefetchIssuedL1 = PrefetchIssuedL1;
+  S.PrefetchIssuedL2 = PrefetchIssuedL2;
+  return S;
+}
+
+double
+MemoryHierarchy::estimatedCycles(const LatencyModel &Latency) const {
+  HierarchyStats S = stats();
+  double Cycles = 0.0;
+  Cycles += static_cast<double>(S.L1.DemandHits) * Latency.L1Hit;
+  Cycles += static_cast<double>(S.L2.DemandHits) * Latency.L2Hit;
+  Cycles += static_cast<double>(S.L3.DemandHits) * Latency.L3Hit;
+  Cycles += static_cast<double>(S.MemoryAccesses) * Latency.Memory;
+  Cycles += static_cast<double>(S.PrefetchMemoryFills + S.Writebacks +
+                                S.NonTemporalLines) *
+            Latency.MemBandwidth;
+  // Non-temporal element stores retire cheaply through write-combining.
+  Cycles += static_cast<double>(S.NonTemporalStores) * 1.0;
+  return Cycles;
+}
+
+void MemoryHierarchy::resetStats() {
+  L1->resetStats();
+  L2->resetStats();
+  if (L3)
+    L3->resetStats();
+  MemoryAccesses = 0;
+  PrefetchMemFills = 0;
+  WritebacksCounter = 0;
+  NonTemporalStores = 0;
+  NTBytes = 0;
+  PrefetchIssuedL1 = 0;
+  PrefetchIssuedL2 = 0;
+}

@@ -1,0 +1,35 @@
+//===- TraceRunner.cpp - drive the cache simulator from lowered IR -------===//
+
+#include "cachesim/TraceRunner.h"
+
+using namespace ltp;
+
+SimResult ltp::simulate(const ir::StmtPtr &S,
+                        const std::map<std::string, BufferRef> &Buffers,
+                        const ArchParams &Arch,
+                        const LatencyModel &Latency) {
+  MemoryHierarchy Hierarchy(Arch);
+  uint64_t Accesses = 0;
+  InterpOptions Options;
+  Options.Hook = [&](AccessKind Kind, uint64_t Address, uint32_t Size) {
+    ++Accesses;
+    switch (Kind) {
+    case AccessKind::Load:
+      Hierarchy.load(Address, Size);
+      return;
+    case AccessKind::Store:
+      Hierarchy.store(Address, Size, /*NonTemporal=*/false);
+      return;
+    case AccessKind::NonTemporalStore:
+      Hierarchy.store(Address, Size, /*NonTemporal=*/true);
+      return;
+    }
+  };
+  interpret(S, Buffers, Options);
+
+  SimResult Result;
+  Result.Stats = Hierarchy.stats();
+  Result.EstimatedCycles = Hierarchy.estimatedCycles(Latency);
+  Result.Accesses = Accesses;
+  return Result;
+}

@@ -1,0 +1,47 @@
+//===- TraceRunner.h - drive the cache simulator from lowered IR -*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a lowered loop nest through the interpreter with the memory
+/// hook wired into a simulated cache hierarchy, yielding the miss profile
+/// of a schedule on an arbitrary Table-3 platform configuration. This is
+/// how the repo evaluates the ARM Cortex-A15 configuration (hardware we do
+/// not have) and how it validates the analytical model's miss estimates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_CACHESIM_TRACERUNNER_H
+#define LTP_CACHESIM_TRACERUNNER_H
+
+#include "cachesim/Hierarchy.h"
+#include "interp/Interpreter.h"
+#include "ir/Stmt.h"
+#include "runtime/Buffer.h"
+
+#include <map>
+#include <string>
+
+namespace ltp {
+
+/// Result of one simulated execution.
+struct SimResult {
+  HierarchyStats Stats;
+  double EstimatedCycles = 0.0;
+  uint64_t Accesses = 0;
+};
+
+/// Runs \p S over \p Buffers on a fresh hierarchy configured from
+/// \p Arch and returns the miss profile. Addresses are the buffers' real
+/// virtual addresses, so buffer alignment and relative placement behave
+/// like a native run.
+SimResult simulate(const ir::StmtPtr &S,
+                   const std::map<std::string, BufferRef> &Buffers,
+                   const ArchParams &Arch,
+                   const LatencyModel &Latency = LatencyModel());
+
+} // namespace ltp
+
+#endif // LTP_CACHESIM_TRACERUNNER_H

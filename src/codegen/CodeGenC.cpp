@@ -1,0 +1,576 @@
+//===- CodeGenC.cpp - C source generation from lowered IR ----------------===//
+
+#include "codegen/CodeGenC.h"
+
+#include "ir/IRVisitor.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace ltp;
+using namespace ltp::ir;
+
+namespace {
+
+/// Collects the set of buffers written by a statement (everything else is
+/// emitted as a const pointer).
+class WrittenBuffers : public IRVisitor {
+public:
+  std::set<std::string> Names;
+
+protected:
+  void visit(const Store *Node) override {
+    Names.insert(Node->BufferName);
+    IRVisitor::visit(Node);
+  }
+};
+
+/// True when the tree contains a non-temporal store.
+class HasNTStore : public IRVisitor {
+public:
+  bool Found = false;
+
+protected:
+  void visit(const Store *Node) override {
+    Found |= Node->NonTemporal;
+    IRVisitor::visit(Node);
+  }
+};
+
+const char *minMaxSuffix(Type T) {
+  if (T == Type::float32())
+    return "f32";
+  if (T == Type::float64())
+    return "f64";
+  return "i64";
+}
+
+class CEmitter {
+public:
+  CEmitter(const std::vector<BufferBinding> &Signature,
+           const CodeGenOptions &Options, std::string KernelName)
+      : Signature(Signature), Options(Options),
+        KernelName(std::move(KernelName)) {
+    for (size_t I = 0; I != Signature.size(); ++I) {
+      assert(!BufferIndex.count(Signature[I].Name) &&
+             "duplicate buffer in kernel signature");
+      BufferIndex[Signature[I].Name] = I;
+    }
+  }
+
+  std::string run(const StmtPtr &S) {
+    WrittenBuffers Written;
+    Written.visitStmt(S);
+    WrittenNames = std::move(Written.Names);
+    HasNTStore NT;
+    NT.visitStmt(S);
+    bool UsesStreaming = NT.Found && Options.EnableNonTemporal;
+
+    std::string Body;
+    emitStmt(S, 1, Body);
+
+    std::string Out = preamble(UsesStreaming);
+    Out += OutlinedFunctions;
+    Out += strFormat(
+        "void %s(void *const *bufs, const ltp_jit_runtime *rt) {\n",
+        KernelName.c_str());
+    Out += bufferDecls(1, "bufs");
+    Out += "  (void)rt;\n";
+    Out += Body;
+    if (UsesStreaming)
+      Out += "  ltp_stream_fence();\n";
+    Out += "}\n";
+    return Out;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  std::string emitExpr(const ExprPtr &E) {
+    switch (E->kind()) {
+    case ExprKind::IntImm: {
+      int64_t V = exprAs<IntImm>(E)->Value;
+      if (V > INT32_MAX || V < INT32_MIN)
+        return strFormat("%lldLL", static_cast<long long>(V));
+      return std::to_string(V);
+    }
+    case ExprKind::FloatImm: {
+      double V = exprAs<FloatImm>(E)->Value;
+      std::string Text = E->type() == Type::float32()
+                             ? strFormat("%.9g", V)
+                             : strFormat("%.17g", V);
+      // Keep the literal a floating constant even for integral values.
+      if (Text.find_first_of(".eE") == std::string::npos &&
+          Text.find_first_of("ni") == std::string::npos) // inf/nan
+        Text += ".0";
+      if (E->type() == Type::float32())
+        Text += "f";
+      return Text;
+    }
+    case ExprKind::VarRef:
+      return exprAs<VarRef>(E)->Name;
+    case ExprKind::Load: {
+      const Load *L = exprAs<Load>(E);
+      return L->BufferName + "[" + linearIndex(L->BufferName, L->Indices) +
+             "]";
+    }
+    case ExprKind::Binary: {
+      const Binary *B = exprAs<Binary>(E);
+      if (B->Op == BinOp::Min || B->Op == BinOp::Max) {
+        const char *Fn = B->Op == BinOp::Min ? "ltp_min_" : "ltp_max_";
+        return std::string(Fn) + minMaxSuffix(B->A->type()) + "(" +
+               emitExpr(B->A) + ", " + emitExpr(B->B) + ")";
+      }
+      return "(" + emitExpr(B->A) + " " + binOpSpelling(B->Op) + " " +
+             emitExpr(B->B) + ")";
+    }
+    case ExprKind::Cast:
+      return "(" + E->type().cName() + ")(" +
+             emitExpr(exprAs<Cast>(E)->Value) + ")";
+    case ExprKind::Select: {
+      const Select *S = exprAs<Select>(E);
+      return "(" + emitExpr(S->Cond) + " ? " + emitExpr(S->TrueValue) +
+             " : " + emitExpr(S->FalseValue) + ")";
+    }
+    }
+    assert(false && "unknown expression kind");
+    return "";
+  }
+
+  /// Emits the flattened element index for a buffer access.
+  std::string linearIndex(const std::string &BufferName,
+                          const std::vector<ExprPtr> &Indices) {
+    auto It = BufferIndex.find(BufferName);
+    assert(It != BufferIndex.end() &&
+           "access to a buffer missing from the kernel signature");
+    const BufferBinding &Binding = Signature[It->second];
+    assert(Indices.size() == Binding.Extents.size() &&
+           "access rank does not match buffer rank");
+    std::string Out;
+    for (size_t D = 0; D != Indices.size(); ++D) {
+      std::string Term = "(int64_t)(" + emitExpr(Indices[D]) + ")";
+      if (Binding.Strides[D] != 1)
+        Term += strFormat(" * %lldLL",
+                          static_cast<long long>(Binding.Strides[D]));
+      if (!Out.empty())
+        Out += " + ";
+      Out += Term;
+    }
+    return Out;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void emitStmt(const StmtPtr &S, int Indent, std::string &Out) {
+    std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+    switch (S->kind()) {
+    case StmtKind::For: {
+      const For *F = stmtAs<For>(S);
+      assert(F->VarName != "bufs" && F->VarName != "rt" &&
+             F->VarName.rfind("ltp_", 0) != 0 &&
+             "loop variable name collides with a reserved codegen "
+             "identifier");
+      if (F->Kind == ForKind::Parallel) {
+        emitParallelFor(F, Indent, Out);
+        return;
+      }
+      if (F->Kind == ForKind::Vectorized &&
+          tryEmitStreamingVectorLoop(F, Indent, Out))
+        return;
+      if (F->Kind == ForKind::Vectorized)
+        Out += Pad + "#pragma GCC ivdep\n";
+      else if (F->Kind == ForKind::Unrolled)
+        Out += Pad + "#pragma GCC unroll 16\n";
+      std::string Min = emitExpr(F->Min);
+      std::string Extent = emitExpr(F->Extent);
+      Out += Pad +
+             strFormat("for (int64_t %s = %s, %s_end = (%s) + (%s); "
+                       "%s < %s_end; ++%s) {\n",
+                       F->VarName.c_str(), Min.c_str(), F->VarName.c_str(),
+                       Min.c_str(), Extent.c_str(), F->VarName.c_str(),
+                       F->VarName.c_str(), F->VarName.c_str());
+      ScopeVars.push_back(F->VarName);
+      emitStmt(F->Body, Indent + 1, Out);
+      ScopeVars.pop_back();
+      Out += Pad + "}\n";
+      return;
+    }
+    case StmtKind::Store: {
+      const Store *St = stmtAs<Store>(S);
+      auto It = BufferIndex.find(St->BufferName);
+      assert(It != BufferIndex.end() &&
+             "store to a buffer missing from the kernel signature");
+      const BufferBinding &Binding = Signature[It->second];
+      std::string Index = linearIndex(St->BufferName, St->Indices);
+      std::string Value = "(" + Binding.ElemType.cName() + ")(" +
+                          emitExpr(St->Value) + ")";
+      if (St->NonTemporal && Options.EnableNonTemporal) {
+        const char *Fn = nullptr;
+        if (Binding.ElemType == Type::float32())
+          Fn = "ltp_stream_store_f32";
+        else if (Binding.ElemType == Type::float64())
+          Fn = "ltp_stream_store_f64";
+        else if (Binding.ElemType == Type::uint32() ||
+                 Binding.ElemType == Type::int32())
+          Fn = "ltp_stream_store_u32";
+        if (Fn) {
+          Out += Pad +
+                 strFormat("%s(&%s[%s], %s);\n", Fn,
+                           St->BufferName.c_str(), Index.c_str(),
+                           Value.c_str());
+          return;
+        }
+        // Element types without a streaming variant fall through to a
+        // regular store.
+      }
+      Out += Pad + St->BufferName + "[" + Index + "] = " + Value + ";\n";
+      return;
+    }
+    case StmtKind::LetStmt: {
+      const LetStmt *L = stmtAs<LetStmt>(S);
+      Out += Pad + "{\n";
+      Out += Pad + "  int64_t " + L->Name + " = " + emitExpr(L->Value) +
+             ";\n";
+      ScopeVars.push_back(L->Name);
+      emitStmt(L->Body, Indent + 1, Out);
+      ScopeVars.pop_back();
+      Out += Pad + "}\n";
+      return;
+    }
+    case StmtKind::IfThenElse: {
+      const IfThenElse *I = stmtAs<IfThenElse>(S);
+      Out += Pad + "if (" + emitExpr(I->Cond) + ") {\n";
+      emitStmt(I->Then, Indent + 1, Out);
+      if (I->Else) {
+        Out += Pad + "} else {\n";
+        emitStmt(I->Else, Indent + 1, Out);
+      }
+      Out += Pad + "}\n";
+      return;
+    }
+    case StmtKind::Block: {
+      for (const StmtPtr &Child : stmtAs<Block>(S)->Stmts)
+        emitStmt(Child, Indent, Out);
+      return;
+    }
+    }
+    assert(false && "unknown statement kind");
+  }
+
+  /// Emits a non-temporal vectorized store loop via software
+  /// write-combining: the value stream is computed into a 64-byte-aligned
+  /// cache-resident block (vectorized by the host compiler), which is
+  /// then flushed with whole-vector streaming stores — the
+  /// (v)movntps/(v)movntdq path of the paper's Section 4. Applies when
+  /// the loop body is a single non-temporal store that walks dimension 0
+  /// contiguously; destination alignment is verified at runtime with a
+  /// scalar-streaming fallback. Returns false when the pattern does not
+  /// match (the caller emits the generic loop).
+  bool tryEmitStreamingVectorLoop(const For *F, int Indent,
+                                  std::string &Out) {
+    if (!Options.EnableNonTemporal)
+      return false;
+    const Store *St = stmtDynAs<Store>(F->Body);
+    if (!St || !St->NonTemporal)
+      return false;
+    auto It = BufferIndex.find(St->BufferName);
+    assert(It != BufferIndex.end() && "store to unknown buffer");
+    const BufferBinding &Binding = Signature[It->second];
+    if (Binding.ElemType.bytes() != 4)
+      return false; // block helpers cover 4-byte elements
+    assert(Binding.Strides[0] == 1 && "dimension 0 must be contiguous");
+
+    // Dimension 0 must be `loop_var + invariant`; other dimensions must
+    // not involve the loop variable.
+    if (!indexIsVarPlusInvariant(St->Indices[0], F->VarName))
+      return false;
+    for (size_t D = 1; D != St->Indices.size(); ++D)
+      if (exprContainsVar(St->Indices[D], F->VarName))
+        return false;
+
+    const char *CType = Binding.ElemType == Type::float32() ? "float"
+                                                            : "uint32_t";
+    const char *BlockFn = Binding.ElemType == Type::float32()
+                              ? "ltp_stream_block_f32"
+                              : "ltp_stream_block_u32";
+    const char *ScalarFn = Binding.ElemType == Type::float32()
+                               ? "ltp_stream_store_f32"
+                               : "ltp_stream_store_u32";
+    UsedStreamBlocks = true;
+
+    std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+    std::string P2 = Pad + "  ";
+    std::string P3 = Pad + "    ";
+    std::string P4 = Pad + "      ";
+    const std::string &V = F->VarName;
+
+    // The destination pointer at the loop start: indices with the loop
+    // variable bound to the loop minimum.
+    Out += Pad + "{\n";
+    Out += P2 + "const int64_t ltp_min = " + emitExpr(F->Min) + ";\n";
+    Out += P2 + "const int64_t ltp_ext = " + emitExpr(F->Extent) + ";\n";
+    Out += P2 + strFormat("%s *ltp_base;\n", CType);
+    Out += P2 + "{\n";
+    Out += P3 + strFormat("const int64_t %s = ltp_min;\n", V.c_str());
+    Out += P3 + strFormat("ltp_base = &%s[", St->BufferName.c_str()) +
+           linearIndex(St->BufferName, St->Indices) + "];\n";
+    Out += P2 + "}\n";
+    Out += P2 + "int64_t ltp_done = 0;\n";
+    Out += P2 + "if (((uintptr_t)ltp_base & 63) == 0) {\n";
+    Out += P3 + "for (; ltp_done + 64 <= ltp_ext; ltp_done += 64) {\n";
+    Out += P4 + strFormat("_Alignas(64) %s ltp_wc[64];\n", CType);
+    Out += P4 + "#pragma GCC ivdep\n";
+    Out += P4 + "for (int64_t ltp_t = 0; ltp_t != 64; ++ltp_t) {\n";
+    Out += P4 + strFormat("  const int64_t %s = ltp_min + ltp_done + "
+                          "ltp_t;\n",
+                          V.c_str());
+    Out += P4 + strFormat("  (void)%s;\n", V.c_str());
+    Out += P4 + strFormat("  ltp_wc[ltp_t] = (%s)(", CType) +
+           emitExpr(St->Value) + ");\n";
+    Out += P4 + "}\n";
+    Out += P4 + strFormat("%s(ltp_base + ltp_done, ltp_wc);\n", BlockFn);
+    Out += P3 + "}\n";
+    Out += P2 + "}\n";
+    // Scalar-streaming epilogue (also the unaligned fallback).
+    Out += P2 + "for (; ltp_done != ltp_ext; ++ltp_done) {\n";
+    Out += P3 + strFormat("const int64_t %s = ltp_min + ltp_done;\n",
+                          V.c_str());
+    Out += P3 + strFormat("%s(&%s[", ScalarFn, St->BufferName.c_str()) +
+           linearIndex(St->BufferName, St->Indices) + "], (" + CType +
+           ")(" + emitExpr(St->Value) + "));\n";
+    Out += P2 + "}\n";
+    Out += Pad + "}\n";
+    return true;
+  }
+
+  /// True when \p E references \p Name anywhere.
+  static bool exprContainsVar(const ExprPtr &E, const std::string &Name) {
+    class Finder : public IRVisitor {
+    public:
+      explicit Finder(const std::string &Name) : Name(Name) {}
+      bool Found = false;
+
+    protected:
+      void visit(const VarRef *Node) override {
+        Found |= Node->Name == Name;
+      }
+
+    private:
+      const std::string &Name;
+    };
+    Finder F(Name);
+    F.visitExpr(E);
+    return F.Found;
+  }
+
+  /// True when \p E is `Name + invariant` (unit coefficient): VarRef, or
+  /// Add with exactly one side being the bare VarRef and the other side
+  /// invariant in \p Name.
+  static bool indexIsVarPlusInvariant(const ExprPtr &E,
+                                      const std::string &Name) {
+    if (const VarRef *V = exprDynAs<VarRef>(E))
+      return V->Name == Name;
+    const Binary *B = exprDynAs<Binary>(E);
+    if (!B || B->Op != BinOp::Add)
+      return false;
+    const VarRef *LHS = exprDynAs<VarRef>(B->A);
+    const VarRef *RHS = exprDynAs<VarRef>(B->B);
+    if (LHS && LHS->Name == Name && !exprContainsVar(B->B, Name))
+      return true;
+    if (RHS && RHS->Name == Name && !exprContainsVar(B->A, Name))
+      return true;
+    return false;
+  }
+
+  /// Outlines a parallel loop body into a closure-taking function and
+  /// emits the dispatch through the runtime's parallel_for hook.
+  void emitParallelFor(const For *F, int Indent, std::string &Out) {
+    int Id = ClosureCounter++;
+    std::string ClosureType = strFormat("ltp_closure_%d", Id);
+    std::string BodyFn = strFormat("ltp_par_body_%d", Id);
+
+    // Snapshot the variables in scope: they are captured by value.
+    std::vector<std::string> Captured = ScopeVars;
+
+    // Generate the body function (depth-first: nested parallel loops
+    // append their own definitions first).
+    std::string BodyCode;
+    ScopeVars.push_back(F->VarName);
+    emitStmt(F->Body, 1, BodyCode);
+    ScopeVars.pop_back();
+
+    std::string Def;
+    Def += "typedef struct {\n";
+    Def += "  void *const *bufs;\n";
+    Def += "  const ltp_jit_runtime *rt;\n";
+    for (const std::string &Var : Captured)
+      Def += "  int64_t " + Var + ";\n";
+    Def += "} " + ClosureType + ";\n\n";
+    Def += strFormat("static void %s(int64_t %s, void *ltp_opaque) {\n",
+                     BodyFn.c_str(), F->VarName.c_str());
+    Def += "  const " + ClosureType + " *ltp_cl = (const " + ClosureType +
+           " *)ltp_opaque;\n";
+    Def += "  void *const *bufs = ltp_cl->bufs;\n";
+    Def += "  const ltp_jit_runtime *rt = ltp_cl->rt;\n";
+    Def += "  (void)rt;\n";
+    Def += bufferDecls(1, "bufs");
+    for (const std::string &Var : Captured)
+      Def += "  int64_t " + Var + " = ltp_cl->" + Var + ";\n";
+    for (const std::string &Var : Captured)
+      Def += "  (void)" + Var + ";\n";
+    Def += BodyCode;
+    Def += "}\n\n";
+    OutlinedFunctions += Def;
+
+    std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+    Out += Pad + "{\n";
+    Out += Pad + "  " + ClosureType + " ltp_cl = {bufs, rt";
+    for (const std::string &Var : Captured)
+      Out += ", " + Var;
+    Out += "};\n";
+    Out += Pad +
+           strFormat("  rt->parallel_for(rt, %s, %s, %s, &ltp_cl);\n",
+                     emitExpr(F->Min).c_str(), emitExpr(F->Extent).c_str(),
+                     BodyFn.c_str());
+    Out += Pad + "}\n";
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Boilerplate
+  //===--------------------------------------------------------------------===//
+
+  /// Declares the typed buffer pointers from the untyped argument array.
+  std::string bufferDecls(int Indent, const std::string &ArgName) {
+    std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+    std::string Out;
+    for (size_t I = 0; I != Signature.size(); ++I) {
+      const BufferBinding &B = Signature[I];
+      bool Written = WrittenNames.count(B.Name) != 0;
+      std::string CType = B.ElemType.cName();
+      if (Written)
+        Out += Pad +
+               strFormat("%s *restrict %s = (%s *)__builtin_assume_aligned("
+                         "%s[%zu], 64);\n",
+                         CType.c_str(), B.Name.c_str(), CType.c_str(),
+                         ArgName.c_str(), I);
+      else
+        Out += Pad +
+               strFormat("const %s *restrict %s = (const %s *)"
+                         "__builtin_assume_aligned(%s[%zu], 64);\n",
+                         CType.c_str(), B.Name.c_str(), CType.c_str(),
+                         ArgName.c_str(), I);
+      Out += Pad + strFormat("(void)%s;\n", B.Name.c_str());
+    }
+    return Out;
+  }
+
+  std::string preamble(bool UsesStreaming) const {
+    std::string Out;
+    Out += "/* Generated by ltp codegen; do not edit. */\n";
+    Out += "#include <stdint.h>\n";
+    Out += "#include <stddef.h>\n";
+    Out += "#if defined(__SSE2__)\n#include <emmintrin.h>\n#endif\n\n";
+    Out += "typedef struct ltp_jit_runtime {\n"
+           "  void (*parallel_for)(const struct ltp_jit_runtime *rt,\n"
+           "                       int64_t min, int64_t extent,\n"
+           "                       void (*body)(int64_t idx, void *closure),"
+           "\n"
+           "                       void *closure);\n"
+           "} ltp_jit_runtime;\n\n";
+    Out += "static inline int64_t ltp_min_i64(int64_t a, int64_t b) "
+           "{ return a < b ? a : b; }\n"
+           "static inline int64_t ltp_max_i64(int64_t a, int64_t b) "
+           "{ return a > b ? a : b; }\n"
+           "static inline float ltp_min_f32(float a, float b) "
+           "{ return a < b ? a : b; }\n"
+           "static inline float ltp_max_f32(float a, float b) "
+           "{ return a > b ? a : b; }\n"
+           "static inline double ltp_min_f64(double a, double b) "
+           "{ return a < b ? a : b; }\n"
+           "static inline double ltp_max_f64(double a, double b) "
+           "{ return a > b ? a : b; }\n\n";
+    if (!UsesStreaming)
+      return Out;
+    Out += "#if defined(__SSE2__)\n"
+           "static inline void ltp_stream_store_u32(void *p, uint32_t v) {\n"
+           "  _mm_stream_si32((int32_t *)p, (int32_t)v);\n"
+           "}\n"
+           "static inline void ltp_stream_store_f32(float *p, float v) {\n"
+           "  union { float f; int32_t i; } u;\n"
+           "  u.f = v;\n"
+           "  _mm_stream_si32((int32_t *)(void *)p, u.i);\n"
+           "}\n"
+           "#if defined(__x86_64__)\n"
+           "static inline void ltp_stream_store_f64(double *p, double v) {\n"
+           "  union { double f; long long i; } u;\n"
+           "  u.f = v;\n"
+           "  _mm_stream_si64((long long *)(void *)p, u.i);\n"
+           "}\n"
+           "#else\n"
+           "static inline void ltp_stream_store_f64(double *p, double v) "
+           "{ *p = v; }\n"
+           "#endif\n"
+           "static inline void ltp_stream_fence(void) { _mm_sfence(); }\n"
+           "/* 64-element (256B) block flush for software write-combined\n"
+           "   non-temporal stores; source is 64B aligned. */\n"
+           "static inline void ltp_stream_block_u32(uint32_t *dst,\n"
+           "                                        const uint32_t *src) {\n"
+           "  for (int i = 0; i != 16; ++i)\n"
+           "    _mm_stream_si128((__m128i *)(void *)(dst + 4 * i),\n"
+           "                     _mm_load_si128((const __m128i *)(const "
+           "void *)(src + 4 * i)));\n"
+           "}\n"
+           "static inline void ltp_stream_block_f32(float *dst,\n"
+           "                                        const float *src) {\n"
+           "  for (int i = 0; i != 16; ++i)\n"
+           "    _mm_stream_ps(dst + 4 * i, _mm_load_ps(src + 4 * i));\n"
+           "}\n"
+           "#else\n"
+           "static inline void ltp_stream_store_u32(void *p, uint32_t v) "
+           "{ *(uint32_t *)p = v; }\n"
+           "static inline void ltp_stream_store_f32(float *p, float v) "
+           "{ *p = v; }\n"
+           "static inline void ltp_stream_store_f64(double *p, double v) "
+           "{ *p = v; }\n"
+           "static inline void ltp_stream_fence(void) {}\n"
+           "static inline void ltp_stream_block_u32(uint32_t *dst,\n"
+           "                                        const uint32_t *src) {\n"
+           "  for (int i = 0; i != 64; ++i)\n"
+           "    dst[i] = src[i];\n"
+           "}\n"
+           "static inline void ltp_stream_block_f32(float *dst,\n"
+           "                                        const float *src) {\n"
+           "  for (int i = 0; i != 64; ++i)\n"
+           "    dst[i] = src[i];\n"
+           "}\n"
+           "#endif\n\n";
+    return Out;
+  }
+
+  const std::vector<BufferBinding> &Signature;
+  CodeGenOptions Options;
+  std::string KernelName;
+  std::map<std::string, size_t> BufferIndex;
+  std::set<std::string> WrittenNames;
+  std::vector<std::string> ScopeVars;
+  std::string OutlinedFunctions;
+  int ClosureCounter = 0;
+  bool UsedStreamBlocks = false;
+};
+
+} // namespace
+
+std::string ltp::generateC(const StmtPtr &S,
+                           const std::vector<BufferBinding> &Signature,
+                           const std::string &KernelName,
+                           const CodeGenOptions &Options) {
+  assert(S && "generating code for a null statement");
+  CEmitter Emitter(Signature, Options, KernelName);
+  return Emitter.run(S);
+}

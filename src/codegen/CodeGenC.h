@@ -1,0 +1,70 @@
+//===- CodeGenC.h - C source generation from lowered IR ---------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates a self-contained C translation unit from a lowered loop nest.
+/// This is the project's equivalent of Halide's LLVM back end: the JIT
+/// compiles the generated source with the host C compiler at -O3 so that
+/// tiled, reordered, parallel and vectorized schedules run at native speed.
+///
+/// Notable lowering decisions:
+///  * Parallel loops are outlined into closure-taking functions and
+///    dispatched through a runtime `parallel_for` callback provided by the
+///    host (see jit/JITRuntime.h), mirroring Halide's do_par_for runtime
+///    hook.
+///  * Vectorized loops are emitted with `#pragma GCC ivdep` and rely on the
+///    host compiler's vectorizer at -O3 -march=native.
+///  * Non-temporal stores (the scheduling directive this project adds,
+///    Section 4 of the paper) are emitted as MOVNTI/MOVNTPS-class
+///    intrinsics: whole-vector `_mm256_stream_ps`/`_mm_stream_ps` when the
+///    innermost vectorized loop stores contiguously with suitable
+///    alignment, scalar `_mm_stream_si32/64` otherwise, with a scalar
+///    fallback on ISAs without streaming stores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_CODEGEN_CODEGENC_H
+#define LTP_CODEGEN_CODEGENC_H
+
+#include "ir/Stmt.h"
+#include "runtime/Buffer.h"
+
+#include <string>
+#include <vector>
+
+namespace ltp {
+
+/// Compile-time shape of one kernel argument buffer.
+struct BufferBinding {
+  std::string Name;
+  ir::Type ElemType;
+  std::vector<int64_t> Extents;
+  std::vector<int64_t> Strides;
+
+  static BufferBinding fromRef(const std::string &Name, const BufferRef &R) {
+    return BufferBinding{Name, R.ElemType, R.Extents, R.Strides};
+  }
+};
+
+/// Options controlling code generation.
+struct CodeGenOptions {
+  /// Emit streaming-store intrinsics for non-temporal stores; when false
+  /// they degrade to regular stores (the ARM configuration).
+  bool EnableNonTemporal = true;
+};
+
+/// Generates a C translation unit defining
+/// `void <KernelName>(void **bufs, const ltp_jit_runtime *rt)` that
+/// executes \p S. `bufs[i]` must point at the buffer described by
+/// `Signature[i]`.
+std::string generateC(const ir::StmtPtr &S,
+                      const std::vector<BufferBinding> &Signature,
+                      const std::string &KernelName,
+                      const CodeGenOptions &Options = CodeGenOptions());
+
+} // namespace ltp
+
+#endif // LTP_CODEGEN_CODEGENC_H

@@ -1,0 +1,129 @@
+//===- AccessInfo.h - affine access analysis of a statement -----*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extracts the structure the paper's classifier and analytical model need
+/// from a Func stage: the loop nest (pure and reduction variables with
+/// extents) and every array access with per-dimension affine index
+/// expressions `c0 + sum(ci * var_i)`. Keeping the indices unflattened is
+/// precisely the information advantage the paper claims over the Halide
+/// Auto-Scheduler ("unable to discern patterns in the source code",
+/// Section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_CORE_ACCESSINFO_H
+#define LTP_CORE_ACCESSINFO_H
+
+#include "lang/Func.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ltp {
+
+/// One affine index expression: Const + sum of Coeff * loop variable.
+struct AffineIndex {
+  int64_t Const = 0;
+  std::map<std::string, int64_t> Coeffs;
+  /// False when the index expression is not affine in the loop variables;
+  /// such accesses disable pattern-driven optimization for the array.
+  bool IsAffine = true;
+
+  /// Variables with non-zero coefficients.
+  std::set<std::string> vars() const {
+    std::set<std::string> Out;
+    for (const auto &[Name, Coeff] : Coeffs)
+      if (Coeff != 0)
+        Out.insert(Name);
+    return Out;
+  }
+};
+
+/// One array access (a load or the stage's store target).
+struct ArrayAccess {
+  std::string Buffer;
+  bool IsOutput = false;
+  /// True when the same indices are also written (self-reference of an
+  /// update definition: the accumulator read-modify-write).
+  bool IsSelfReference = false;
+  std::vector<AffineIndex> Index; // dimension 0 (contiguous) first
+
+  /// Set of loop variables appearing anywhere in the index.
+  std::set<std::string> indexVars() const {
+    std::set<std::string> Out;
+    for (const AffineIndex &I : Index)
+      for (const std::string &V : I.vars())
+        Out.insert(V);
+    return Out;
+  }
+
+  /// Order of first appearance of variables across dimensions
+  /// (dimension 0 first); used by the transposition detector.
+  std::vector<std::string> varOrder() const {
+    std::vector<std::string> Out;
+    std::set<std::string> Seen;
+    for (const AffineIndex &I : Index)
+      for (const std::string &V : I.vars())
+        if (Seen.insert(V).second)
+          Out.push_back(V);
+    return Out;
+  }
+};
+
+/// One loop of the (untiled) nest with a concrete extent.
+struct LoopInfo {
+  std::string Name;
+  int64_t Extent = 0;
+  bool IsReduction = false;
+};
+
+/// Everything the classifier and the optimizers consume.
+struct StageAccessInfo {
+  /// Loops in default nesting order, innermost first (pure variables in
+  /// argument order, then reduction variables).
+  std::vector<LoopInfo> Loops;
+  /// All distinct accesses; the store target is first and IsOutput.
+  std::vector<ArrayAccess> Accesses;
+  /// Element size of the output (the DTS model parameter).
+  int64_t DTS = 4;
+  /// True when the stage's reduction domain carries `where` predicates
+  /// (triangular kernels); extents then overcount the true iteration
+  /// space, which the model tolerates.
+  bool HasPredicates = false;
+
+  /// The variable indexing dimension 0 of the output (the "column" loop).
+  std::string outputColumnVar() const;
+
+  /// All variables that index dimension 0 of some access ("column index"
+  /// loops, invalid outermost per Algorithm 2).
+  std::set<std::string> columnVars() const;
+
+  /// Input accesses only (excludes the output/store access).
+  std::vector<const ArrayAccess *> inputs() const;
+};
+
+/// Decomposes \p E into an affine form over loop variables.
+AffineIndex decomposeAffine(const ir::ExprPtr &E);
+
+/// Analyzes stage \p StageIndex (-1 = pure) of \p F realized over
+/// \p OutputExtents. Reduction extents must be compile-time constants
+/// (predicated domains are supported; variable bounds are clamped to the
+/// full extent and flagged via HasPredicates).
+StageAccessInfo analyzeStage(const Func &F, int StageIndex,
+                             const std::vector<int64_t> &OutputExtents);
+
+/// Analyzes the stage that dominates the computation: the last update when
+/// updates exist, the pure stage otherwise.
+StageAccessInfo analyzeComputeStage(const Func &F,
+                                    const std::vector<int64_t> &OutputExtents);
+
+} // namespace ltp
+
+#endif // LTP_CORE_ACCESSINFO_H

@@ -1,0 +1,95 @@
+//===- Classifier.cpp - statement classification (Figure 2) --------------===//
+
+#include "core/Classifier.h"
+
+#include <cassert>
+
+using namespace ltp;
+
+const char *ltp::statementClassName(StatementClass C) {
+  switch (C) {
+  case StatementClass::TemporalReuse:
+    return "temporal";
+  case StatementClass::SpatialReuse:
+    return "spatial";
+  case StatementClass::NoTransform:
+    return "no-transform";
+  }
+  assert(false && "unknown statement class");
+  return "";
+}
+
+namespace {
+
+/// True when \p Input reads the same variables as \p Output but indexes
+/// some dimension with a different variable than the output does — the
+/// "array appears transposed in the statement" test of Figure 2.
+bool isTransposed(const ArrayAccess &Input, const ArrayAccess &Output) {
+  if (Input.Index.size() != Output.Index.size())
+    return false;
+  std::vector<std::string> InOrder = Input.varOrder();
+  std::vector<std::string> OutOrder = Output.varOrder();
+  if (InOrder.size() != OutOrder.size())
+    return false;
+  return InOrder != OutOrder;
+}
+
+/// True when every index of \p Input is a single output variable with
+/// unit coefficient plus a constant offset, and at least one offset is
+/// non-zero (a stencil tap).
+bool hasConstantOffset(const ArrayAccess &Input) {
+  for (const AffineIndex &I : Input.Index)
+    if (I.Const != 0)
+      return true;
+  return false;
+}
+
+} // namespace
+
+Classification ltp::classify(const StageAccessInfo &Info) {
+  assert(!Info.Accesses.empty() && "classification requires accesses");
+  const ArrayAccess &Output = Info.Accesses.front();
+  assert(Output.IsOutput && "first access must be the output");
+
+  Classification Result;
+  // Non-temporal stores are applicable whenever the statement does not
+  // read back the data it produces (Section 3.4).
+  Result.UseNonTemporalStores = !Output.IsSelfReference;
+
+  // Step 1 (Figure 2): unique indices of inputs vs the output.
+  std::set<std::string> OutputVars = Output.indexVars();
+  std::set<std::string> InputVars;
+  bool AllAffine = true;
+  for (const ArrayAccess *Input : Info.inputs()) {
+    for (const std::string &V : Input->indexVars())
+      InputVars.insert(V);
+    for (const AffineIndex &I : Input->Index)
+      AllAffine &= I.IsAffine;
+  }
+  if (!AllAffine) {
+    // Irregular indexing defeats the pattern analysis; do not transform.
+    Result.Kind = StatementClass::NoTransform;
+    return Result;
+  }
+  if (!InputVars.empty() && InputVars != OutputVars) {
+    Result.Kind = StatementClass::TemporalReuse;
+    return Result;
+  }
+
+  // Step 2: same index set -- check for transposed inputs.
+  for (const ArrayAccess *Input : Info.inputs())
+    if (isTransposed(*Input, Output))
+      Result.TransposedInputs.push_back(Input->Buffer);
+  if (!Result.TransposedInputs.empty()) {
+    Result.Kind = StatementClass::SpatialReuse;
+    return Result;
+  }
+
+  // Step 3: contiguous accesses or a stencil; leave the loop nest alone so
+  // the streaming prefetchers keep their unit strides.
+  for (const ArrayAccess *Input : Info.inputs())
+    if (hasConstantOffset(*Input))
+      Result.IsStencil = true;
+  Result.Kind = StatementClass::NoTransform;
+  return Result;
+}

@@ -1,0 +1,71 @@
+//===- Classifier.h - statement classification (Figure 2) -------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classification step of the optimization flow (Section 3.1,
+/// Figure 2):
+///
+///   1. If the unique index variables of the input arrays differ from the
+///      output array's, the statement has temporal reuse across multiple
+///      cache-line references -> optimize for temporal locality.
+///   2. Otherwise, if an input appears transposed (same variables, a
+///      different dimension order), only self-spatial (cache-line) reuse
+///      exists -> optimize for spatial locality.
+///   3. Otherwise the accesses are contiguous (or a stencil with uniform
+///      offsets, which the hardware prefetchers already exploit, per
+///      Kamil et al. [9]): apply no loop transformation, only
+///      parallelization/vectorization.
+///
+/// Independently, when the output is not reused by the statement (no
+/// accumulator self-reference), non-temporal stores are profitable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_CORE_CLASSIFIER_H
+#define LTP_CORE_CLASSIFIER_H
+
+#include "core/AccessInfo.h"
+
+#include <string>
+#include <vector>
+
+namespace ltp {
+
+/// Outcome of the classification step.
+enum class StatementClass {
+  /// Multiple cache-line references with temporal reuse: tile for L1/L2
+  /// reuse (Algorithm 2).
+  TemporalReuse,
+  /// Same index set with a transposed input: tile for cache-line
+  /// (self-spatial) reuse (Algorithm 3).
+  SpatialReuse,
+  /// Contiguous/uniform accesses: loop transformations would disturb the
+  /// streaming prefetchers; only parallelize and vectorize.
+  NoTransform,
+};
+
+/// Printable name of a statement class.
+const char *statementClassName(StatementClass C);
+
+/// Full classification result.
+struct Classification {
+  StatementClass Kind = StatementClass::NoTransform;
+  /// True when non-temporal stores should be used for the output
+  /// (no output-data reuse in the statement).
+  bool UseNonTemporalStores = false;
+  /// Inputs detected as transposed relative to the output.
+  std::vector<std::string> TransposedInputs;
+  /// True when input offsets form a stencil pattern (same variables with
+  /// constant offsets), which strengthens the NoTransform decision.
+  bool IsStencil = false;
+};
+
+/// Classifies the compute stage described by \p Info.
+Classification classify(const StageAccessInfo &Info);
+
+} // namespace ltp
+
+#endif // LTP_CORE_CLASSIFIER_H

@@ -1,0 +1,104 @@
+//===- CostModel.h - prefetch-aware cache cost model (Eqs. 1-12) -*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analytical model of Section 3.2, generalized from the paper's
+/// matmul walkthrough to arbitrary affine accesses (DESIGN.md spells out
+/// the generalization and checks it reproduces Eqs. 1-12 exactly on the
+/// matmul example; CostModelTest.cpp verifies that):
+///
+///  * the *footprint* of an access over a set of (tiled) loops extends
+///    each array dimension by `sum |ci| * (Ti - 1) + 1`;
+///  * with streaming prefetchers, the *cold misses* of a footprint equal
+///    its number of distinct contiguous segments — the product of the
+///    non-column extents (Eq. 3's "1 + 1 + Tk");
+///  * `CL1` (Eq. 5) counts, per access, `T_outer` fresh footprints per
+///    tile when the outermost intra-tile loop indexes the access, or one
+///    reused footprint otherwise, times the number of tiles;
+///  * `CL2` (Eq. 10) applies the same rule at the innermost inter-tile
+///    loop over whole-tile footprints;
+///  * `Ctotal = a2*CL1 + a3*CL2` (Eq. 11);
+///  * `Corder` (Eq. 12) sums, per original loop, the iteration distance
+///    between its inter-tile and intra-tile incarnations in the final
+///    order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_CORE_COSTMODEL_H
+#define LTP_CORE_COSTMODEL_H
+
+#include "arch/ArchParams.h"
+#include "core/AccessInfo.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ltp {
+
+/// Tile sizes per original loop variable. A loop tiled at its full extent
+/// is effectively untiled (its inter-tile loop has one iteration).
+using TileMap = std::map<std::string, int64_t>;
+
+/// Returns ceil(Extent / Tile) — the inter-tile trip count of a loop.
+int64_t interTrip(int64_t Extent, int64_t Tile);
+
+/// Footprint extent of one array dimension over the loops in \p Tiles
+/// (loops absent from the map contribute nothing).
+int64_t footprintDimExtent(const AffineIndex &Index, const TileMap &Tiles);
+
+/// Prefetch-adjusted cold misses of the footprint of \p Access over the
+/// loops in \p Tiles: the number of distinct contiguous segments, i.e. the
+/// product of the extents of every non-column dimension (the column
+/// dimension's run is covered by the next-line prefetcher).
+int64_t footprintSegments(const ArrayAccess &Access, const TileMap &Tiles);
+
+/// Footprint size in elements (product over all dimensions), the working
+/// set contribution of one access.
+int64_t footprintElements(const ArrayAccess &Access, const TileMap &Tiles);
+
+/// Working set over the loops in \p Tiles, summed over all accesses
+/// (Eqs. 1 and 6 generalized).
+int64_t workingSetElements(const StageAccessInfo &Info, const TileMap &Tiles);
+
+/// Estimated L1 misses (Eq. 5): \p OuterIntraVar is the outermost
+/// intra-tile loop; \p Tiles must cover every loop of the nest.
+double estimateL1Misses(const StageAccessInfo &Info, const TileMap &Tiles,
+                        const std::string &OuterIntraVar);
+
+/// Estimated L2 misses (Eq. 10): \p InnerInterVar is the innermost
+/// inter-tile loop.
+double estimateL2Misses(const StageAccessInfo &Info, const TileMap &Tiles,
+                        const std::string &InnerInterVar);
+
+/// Weighted total (Eq. 11).
+double totalCost(const StageAccessInfo &Info, const TileMap &Tiles,
+                 const std::string &OuterIntraVar,
+                 const std::string &InnerInterVar, const ArchParams &Arch);
+
+/// Loop-order cost (Eq. 12). \p IntraOrder and \p InterOrder list original
+/// loop names innermost-first; loops tiled at full extent have no
+/// inter-tile loop and must be omitted from \p InterOrder.
+double orderCost(const StageAccessInfo &Info, const TileMap &Tiles,
+                 const std::vector<std::string> &IntraOrder,
+                 const std::vector<std::string> &InterOrder);
+
+/// Prefetch-*unaware* variants used by the ablation bench and by the TSS
+/// baseline: cold misses are footprint-lines (`elements / lc`) instead of
+/// segments.
+double estimateL1MissesNoPrefetch(const StageAccessInfo &Info,
+                                  const TileMap &Tiles,
+                                  const std::string &OuterIntraVar,
+                                  int64_t Lc);
+double estimateL2MissesNoPrefetch(const StageAccessInfo &Info,
+                                  const TileMap &Tiles,
+                                  const std::string &InnerInterVar,
+                                  int64_t Lc);
+
+} // namespace ltp
+
+#endif // LTP_CORE_COSTMODEL_H

@@ -1,0 +1,96 @@
+//===- Optimizer.cpp - the end-to-end optimization flow (Figure 1) -------===//
+
+#include "core/Optimizer.h"
+
+#include "support/Format.h"
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace ltp;
+
+namespace {
+
+/// Parallelize the outermost loop and vectorize the innermost (column)
+/// loop of a stage — the treatment for NoTransform statements and for the
+/// pure init stages of reductions.
+void applyParVec(Func &F, int StageIndex, const StageAccessInfo &Info,
+                 const ArchParams &Arch) {
+  Stage S = StageIndex < 0 ? F.pureStage() : F.update(StageIndex);
+  // Outermost pure loop: the last pure loop in default order.
+  std::string Outermost;
+  for (const LoopInfo &Loop : Info.Loops)
+    if (!Loop.IsReduction)
+      Outermost = Loop.Name;
+  if (!Outermost.empty() && Outermost != Info.Loops.front().Name &&
+      Arch.NCores > 1)
+    S.parallel(Outermost);
+  const LoopInfo &Inner = Info.Loops.front();
+  if (Arch.VectorWidth > 1 && !Inner.IsReduction &&
+      Inner.Extent >= Arch.VectorWidth)
+    S.vectorize(Inner.Name);
+}
+
+} // namespace
+
+OptimizationResult ltp::optimize(Func &F,
+                                 const std::vector<int64_t> &OutputExtents,
+                                 const ArchParams &Arch,
+                                 const OptimizerOptions &Options) {
+  Timer T;
+  OptimizationResult Result;
+
+  F.clearSchedules();
+  int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+  StageAccessInfo Info = analyzeStage(F, ComputeStage, OutputExtents);
+  Result.Class = classify(Info);
+
+  bool WantNTI = Result.Class.UseNonTemporalStores &&
+                 Options.EnableNonTemporal && Arch.HasNonTemporalStores;
+
+  switch (Result.Class.Kind) {
+  case StatementClass::TemporalReuse: {
+    Result.Temporal = optimizeTemporal(Info, Arch, Options.Temporal);
+    applyTemporalSchedule(F, ComputeStage, Result.Temporal, Info);
+    // Give the init stage of a reduction the plain treatment so zeroing
+    // the output does not dominate at large problem sizes.
+    if (ComputeStage >= 0) {
+      StageAccessInfo PureInfo = analyzeStage(F, -1, OutputExtents);
+      applyParVec(F, -1, PureInfo, Arch);
+    }
+    Result.Description = std::string("temporal: ") +
+                         describeTemporalSchedule(Result.Temporal);
+    break;
+  }
+  case StatementClass::SpatialReuse: {
+    if (Info.Loops.size() == 2) {
+      Result.Spatial = optimizeSpatial(Info, Result.Class, Arch);
+      applySpatialSchedule(F, ComputeStage, Result.Spatial);
+      Result.Description =
+          std::string("spatial: ") + describeSpatialSchedule(Result.Spatial);
+    } else {
+      // The spatial model covers 2-D statements; higher-rank transposed
+      // statements fall back to the plain treatment.
+      applyParVec(F, ComputeStage, Info, Arch);
+      Result.Description = "spatial(fallback): parallel+vectorize";
+    }
+    break;
+  }
+  case StatementClass::NoTransform: {
+    applyParVec(F, ComputeStage, Info, Arch);
+    Result.Description = Result.Class.IsStencil
+                             ? "no-transform(stencil): parallel+vectorize"
+                             : "no-transform: parallel+vectorize";
+    break;
+  }
+  }
+
+  if (WantNTI) {
+    F.storeNonTemporal();
+    Result.AppliedNonTemporal = true;
+    Result.Description += " +NTI";
+  }
+
+  Result.RuntimeMillis = T.elapsedMillis();
+  return Result;
+}

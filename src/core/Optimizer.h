@@ -1,0 +1,65 @@
+//===- Optimizer.h - the end-to-end optimization flow (Figure 1) -*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of the optimization flow (Figures 1 and 3): classify the input
+/// statement, dispatch to the temporal or spatial optimizer (or to plain
+/// parallelization/vectorization), and apply the resulting directives —
+/// including `store_nontemporal` when the classifier finds no output-data
+/// reuse and the target supports streaming stores — to the Func's compute
+/// stage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_CORE_OPTIMIZER_H
+#define LTP_CORE_OPTIMIZER_H
+
+#include "arch/ArchParams.h"
+#include "core/Classifier.h"
+#include "core/SpatialOptimizer.h"
+#include "core/TemporalOptimizer.h"
+#include "lang/Func.h"
+
+#include <string>
+#include <vector>
+
+namespace ltp {
+
+/// Options of the end-to-end flow.
+struct OptimizerOptions {
+  /// Forwarded to the temporal optimizer (including the ablation knobs).
+  TemporalOptions Temporal;
+  /// Globally disable non-temporal stores (the comparison configurations
+  /// "Proposed" vs "Proposed+NTI" in Figures 4-6).
+  bool EnableNonTemporal = true;
+};
+
+/// Outcome of optimizing one Func.
+struct OptimizationResult {
+  Classification Class;
+  /// Filled when Class.Kind == TemporalReuse.
+  TemporalSchedule Temporal;
+  /// Filled when Class.Kind == SpatialReuse.
+  SpatialSchedule Spatial;
+  /// True when the schedule marks the output store non-temporal.
+  bool AppliedNonTemporal = false;
+  /// Human-readable schedule summary.
+  std::string Description;
+  /// Optimizer wall-clock in milliseconds (Table 5).
+  double RuntimeMillis = 0.0;
+};
+
+/// Classifies and schedules the compute stage of \p F (in place). The
+/// pure init stage of reductions receives the matching parallel/vectorize
+/// treatment so initialization does not dominate.
+OptimizationResult optimize(Func &F,
+                            const std::vector<int64_t> &OutputExtents,
+                            const ArchParams &Arch,
+                            const OptimizerOptions &Options = {});
+
+} // namespace ltp
+
+#endif // LTP_CORE_OPTIMIZER_H

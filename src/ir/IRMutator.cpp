@@ -1,0 +1,219 @@
+//===- IRMutator.cpp - rebuilding traversal over the IR ------------------===//
+
+#include "ir/IRMutator.h"
+
+#include <set>
+
+using namespace ltp;
+using namespace ltp::ir;
+
+IRMutator::~IRMutator() = default;
+
+ExprPtr IRMutator::mutateExpr(const ExprPtr &E) {
+  assert(E && "mutating a null expression");
+  switch (E->kind()) {
+  case ExprKind::IntImm:
+    return mutate(exprAs<IntImm>(E), E);
+  case ExprKind::FloatImm:
+    return mutate(exprAs<FloatImm>(E), E);
+  case ExprKind::VarRef:
+    return mutate(exprAs<VarRef>(E), E);
+  case ExprKind::Load:
+    return mutate(exprAs<Load>(E), E);
+  case ExprKind::Binary:
+    return mutate(exprAs<Binary>(E), E);
+  case ExprKind::Cast:
+    return mutate(exprAs<Cast>(E), E);
+  case ExprKind::Select:
+    return mutate(exprAs<Select>(E), E);
+  }
+  assert(false && "unknown expression kind");
+  return E;
+}
+
+StmtPtr IRMutator::mutateStmt(const StmtPtr &S) {
+  assert(S && "mutating a null statement");
+  switch (S->kind()) {
+  case StmtKind::For:
+    return mutate(stmtAs<For>(S), S);
+  case StmtKind::Store:
+    return mutate(stmtAs<Store>(S), S);
+  case StmtKind::LetStmt:
+    return mutate(stmtAs<LetStmt>(S), S);
+  case StmtKind::IfThenElse:
+    return mutate(stmtAs<IfThenElse>(S), S);
+  case StmtKind::Block:
+    return mutate(stmtAs<Block>(S), S);
+  }
+  assert(false && "unknown statement kind");
+  return S;
+}
+
+ExprPtr IRMutator::mutate(const IntImm *, const ExprPtr &Original) {
+  return Original;
+}
+ExprPtr IRMutator::mutate(const FloatImm *, const ExprPtr &Original) {
+  return Original;
+}
+ExprPtr IRMutator::mutate(const VarRef *, const ExprPtr &Original) {
+  return Original;
+}
+
+ExprPtr IRMutator::mutate(const Load *Node, const ExprPtr &Original) {
+  bool Changed = false;
+  std::vector<ExprPtr> Indices;
+  Indices.reserve(Node->Indices.size());
+  for (const ExprPtr &Index : Node->Indices) {
+    ExprPtr NewIndex = mutateExpr(Index);
+    Changed |= NewIndex != Index;
+    Indices.push_back(std::move(NewIndex));
+  }
+  if (!Changed)
+    return Original;
+  return Load::make(Node->BufferName, std::move(Indices), Node->type());
+}
+
+ExprPtr IRMutator::mutate(const Binary *Node, const ExprPtr &Original) {
+  ExprPtr A = mutateExpr(Node->A);
+  ExprPtr B = mutateExpr(Node->B);
+  if (A == Node->A && B == Node->B)
+    return Original;
+  return Binary::make(Node->Op, std::move(A), std::move(B));
+}
+
+ExprPtr IRMutator::mutate(const Cast *Node, const ExprPtr &Original) {
+  ExprPtr Value = mutateExpr(Node->Value);
+  if (Value == Node->Value)
+    return Original;
+  return Cast::make(Node->type(), std::move(Value));
+}
+
+ExprPtr IRMutator::mutate(const Select *Node, const ExprPtr &Original) {
+  ExprPtr Cond = mutateExpr(Node->Cond);
+  ExprPtr TrueValue = mutateExpr(Node->TrueValue);
+  ExprPtr FalseValue = mutateExpr(Node->FalseValue);
+  if (Cond == Node->Cond && TrueValue == Node->TrueValue &&
+      FalseValue == Node->FalseValue)
+    return Original;
+  return Select::make(std::move(Cond), std::move(TrueValue),
+                      std::move(FalseValue));
+}
+
+StmtPtr IRMutator::mutate(const For *Node, const StmtPtr &Original) {
+  ExprPtr Min = mutateExpr(Node->Min);
+  ExprPtr Extent = mutateExpr(Node->Extent);
+  StmtPtr Body = mutateStmt(Node->Body);
+  if (Min == Node->Min && Extent == Node->Extent && Body == Node->Body)
+    return Original;
+  return For::make(Node->VarName, std::move(Min), std::move(Extent),
+                   Node->Kind, std::move(Body));
+}
+
+StmtPtr IRMutator::mutate(const Store *Node, const StmtPtr &Original) {
+  bool Changed = false;
+  std::vector<ExprPtr> Indices;
+  Indices.reserve(Node->Indices.size());
+  for (const ExprPtr &Index : Node->Indices) {
+    ExprPtr NewIndex = mutateExpr(Index);
+    Changed |= NewIndex != Index;
+    Indices.push_back(std::move(NewIndex));
+  }
+  ExprPtr Value = mutateExpr(Node->Value);
+  Changed |= Value != Node->Value;
+  if (!Changed)
+    return Original;
+  return Store::make(Node->BufferName, std::move(Indices), std::move(Value),
+                     Node->NonTemporal);
+}
+
+StmtPtr IRMutator::mutate(const LetStmt *Node, const StmtPtr &Original) {
+  ExprPtr Value = mutateExpr(Node->Value);
+  StmtPtr Body = mutateStmt(Node->Body);
+  if (Value == Node->Value && Body == Node->Body)
+    return Original;
+  return LetStmt::make(Node->Name, std::move(Value), std::move(Body));
+}
+
+StmtPtr IRMutator::mutate(const IfThenElse *Node, const StmtPtr &Original) {
+  ExprPtr Cond = mutateExpr(Node->Cond);
+  StmtPtr Then = mutateStmt(Node->Then);
+  StmtPtr Else = Node->Else ? mutateStmt(Node->Else) : nullptr;
+  if (Cond == Node->Cond && Then == Node->Then && Else == Node->Else)
+    return Original;
+  return IfThenElse::make(std::move(Cond), std::move(Then), std::move(Else));
+}
+
+StmtPtr IRMutator::mutate(const Block *Node, const StmtPtr &Original) {
+  bool Changed = false;
+  std::vector<StmtPtr> Stmts;
+  Stmts.reserve(Node->Stmts.size());
+  for (const StmtPtr &S : Node->Stmts) {
+    StmtPtr NewS = mutateStmt(S);
+    Changed |= NewS != S;
+    Stmts.push_back(std::move(NewS));
+  }
+  if (!Changed)
+    return Original;
+  return Block::make(std::move(Stmts));
+}
+
+namespace {
+
+/// Shadowing-aware variable substitution.
+class SubstituteMutator : public IRMutator {
+public:
+  explicit SubstituteMutator(const std::map<std::string, ExprPtr> &Map)
+      : Replacements(Map) {}
+
+protected:
+  ExprPtr mutate(const VarRef *Node, const ExprPtr &Original) override {
+    auto It = Replacements.find(Node->Name);
+    if (It == Replacements.end() || Shadowed.count(Node->Name))
+      return Original;
+    return It->second;
+  }
+
+  StmtPtr mutate(const For *Node, const StmtPtr &Original) override {
+    // The loop variable shadows any replacement of the same name inside the
+    // loop body (but not inside the bounds, which are evaluated outside).
+    ExprPtr Min = mutateExpr(Node->Min);
+    ExprPtr Extent = mutateExpr(Node->Extent);
+    bool WasShadowed = !Shadowed.insert(Node->VarName).second;
+    StmtPtr Body = mutateStmt(Node->Body);
+    if (!WasShadowed)
+      Shadowed.erase(Node->VarName);
+    if (Min == Node->Min && Extent == Node->Extent && Body == Node->Body)
+      return Original;
+    return For::make(Node->VarName, std::move(Min), std::move(Extent),
+                     Node->Kind, std::move(Body));
+  }
+
+  StmtPtr mutate(const LetStmt *Node, const StmtPtr &Original) override {
+    ExprPtr Value = mutateExpr(Node->Value);
+    bool WasShadowed = !Shadowed.insert(Node->Name).second;
+    StmtPtr Body = mutateStmt(Node->Body);
+    if (!WasShadowed)
+      Shadowed.erase(Node->Name);
+    if (Value == Node->Value && Body == Node->Body)
+      return Original;
+    return LetStmt::make(Node->Name, std::move(Value), std::move(Body));
+  }
+
+private:
+  const std::map<std::string, ExprPtr> &Replacements;
+  std::set<std::string> Shadowed;
+};
+
+} // namespace
+
+ExprPtr ir::substitute(const ExprPtr &E,
+                       const std::map<std::string, ExprPtr> &Replacements) {
+  SubstituteMutator M(Replacements);
+  return M.mutateExpr(E);
+}
+
+StmtPtr ir::substitute(const StmtPtr &S,
+                       const std::map<std::string, ExprPtr> &Replacements) {
+  SubstituteMutator M(Replacements);
+  return M.mutateStmt(S);
+}

@@ -1,0 +1,65 @@
+//===- IRMutator.h - rebuilding traversal over the IR -----------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rebuilding visitor: returns a (possibly shared) new tree. Default hooks
+/// reconstruct nodes only when a child changed, so unchanged subtrees are
+/// shared with the input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_IR_IRMUTATOR_H
+#define LTP_IR_IRMUTATOR_H
+
+#include "ir/Expr.h"
+#include "ir/Stmt.h"
+
+#include <map>
+
+namespace ltp {
+namespace ir {
+
+/// Rebuilding traversal over expressions and statements.
+class IRMutator {
+public:
+  virtual ~IRMutator();
+
+  /// Dispatches on the dynamic kind of \p E and returns the rewritten tree.
+  ExprPtr mutateExpr(const ExprPtr &E);
+
+  /// Dispatches on the dynamic kind of \p S and returns the rewritten tree.
+  StmtPtr mutateStmt(const StmtPtr &S);
+
+protected:
+  virtual ExprPtr mutate(const IntImm *Node, const ExprPtr &Original);
+  virtual ExprPtr mutate(const FloatImm *Node, const ExprPtr &Original);
+  virtual ExprPtr mutate(const VarRef *Node, const ExprPtr &Original);
+  virtual ExprPtr mutate(const Load *Node, const ExprPtr &Original);
+  virtual ExprPtr mutate(const Binary *Node, const ExprPtr &Original);
+  virtual ExprPtr mutate(const Cast *Node, const ExprPtr &Original);
+  virtual ExprPtr mutate(const Select *Node, const ExprPtr &Original);
+
+  virtual StmtPtr mutate(const For *Node, const StmtPtr &Original);
+  virtual StmtPtr mutate(const Store *Node, const StmtPtr &Original);
+  virtual StmtPtr mutate(const LetStmt *Node, const StmtPtr &Original);
+  virtual StmtPtr mutate(const IfThenElse *Node, const StmtPtr &Original);
+  virtual StmtPtr mutate(const Block *Node, const StmtPtr &Original);
+};
+
+/// Substitutes variable references by name.
+///
+/// Returns \p E (or \p S) with every VarRef whose name appears in the
+/// replacement map swapped for the mapped expression. Loop variables bound
+/// by an inner For of the same name shadow the substitution.
+ExprPtr substitute(const ExprPtr &E,
+                   const std::map<std::string, ExprPtr> &Replacements);
+StmtPtr substitute(const StmtPtr &S,
+                   const std::map<std::string, ExprPtr> &Replacements);
+
+} // namespace ir
+} // namespace ltp
+
+#endif // LTP_IR_IRMUTATOR_H

@@ -1,0 +1,128 @@
+//===- IRPrinter.cpp - human-readable dump of the loop-nest IR -----------===//
+
+#include "ir/IRPrinter.h"
+
+#include "support/Format.h"
+
+#include <sstream>
+
+using namespace ltp;
+using namespace ltp::ir;
+
+namespace {
+
+std::string printExprImpl(const ExprPtr &E);
+
+std::string printIndices(const std::vector<ExprPtr> &Indices) {
+  std::vector<std::string> Parts;
+  Parts.reserve(Indices.size());
+  for (const ExprPtr &Index : Indices)
+    Parts.push_back(printExprImpl(Index));
+  return join(Parts, ", ");
+}
+
+std::string printExprImpl(const ExprPtr &E) {
+  switch (E->kind()) {
+  case ExprKind::IntImm:
+    return std::to_string(exprAs<IntImm>(E)->Value);
+  case ExprKind::FloatImm: {
+    std::ostringstream OS;
+    OS << exprAs<FloatImm>(E)->Value;
+    std::string S = OS.str();
+    if (S.find('.') == std::string::npos &&
+        S.find('e') == std::string::npos &&
+        S.find("inf") == std::string::npos &&
+        S.find("nan") == std::string::npos)
+      S += ".0";
+    if (E->type() == Type::float32())
+      S += "f";
+    return S;
+  }
+  case ExprKind::VarRef:
+    return exprAs<VarRef>(E)->Name;
+  case ExprKind::Load: {
+    const Load *L = exprAs<Load>(E);
+    return L->BufferName + "(" + printIndices(L->Indices) + ")";
+  }
+  case ExprKind::Binary: {
+    const Binary *B = exprAs<Binary>(E);
+    if (B->Op == BinOp::Min || B->Op == BinOp::Max)
+      return std::string(binOpSpelling(B->Op)) + "(" + printExprImpl(B->A) +
+             ", " + printExprImpl(B->B) + ")";
+    return "(" + printExprImpl(B->A) + " " + binOpSpelling(B->Op) + " " +
+           printExprImpl(B->B) + ")";
+  }
+  case ExprKind::Cast:
+    return std::string("cast<") + E->type().str() + ">(" +
+           printExprImpl(exprAs<Cast>(E)->Value) + ")";
+  case ExprKind::Select: {
+    const Select *S = exprAs<Select>(E);
+    return "select(" + printExprImpl(S->Cond) + ", " +
+           printExprImpl(S->TrueValue) + ", " +
+           printExprImpl(S->FalseValue) + ")";
+  }
+  }
+  assert(false && "unknown expression kind");
+  return "";
+}
+
+void printStmtImpl(const StmtPtr &S, unsigned Indent, std::string &Out) {
+  std::string Pad(Indent * 2, ' ');
+  switch (S->kind()) {
+  case StmtKind::For: {
+    const For *F = stmtAs<For>(S);
+    Out += Pad + forKindSpelling(F->Kind) + " " + F->VarName + " in [" +
+           printExprImpl(F->Min) + ", " + printExprImpl(F->Min) + " + " +
+           printExprImpl(F->Extent) + ") {\n";
+    printStmtImpl(F->Body, Indent + 1, Out);
+    Out += Pad + "}\n";
+    return;
+  }
+  case StmtKind::Store: {
+    const Store *St = stmtAs<Store>(S);
+    Out += Pad + St->BufferName + "(" + printIndices(St->Indices) +
+           ") = " + printExprImpl(St->Value);
+    if (St->NonTemporal)
+      Out += "  // non-temporal";
+    Out += "\n";
+    return;
+  }
+  case StmtKind::LetStmt: {
+    const LetStmt *L = stmtAs<LetStmt>(S);
+    Out += Pad + "let " + L->Name + " = " + printExprImpl(L->Value) + " in\n";
+    printStmtImpl(L->Body, Indent, Out);
+    return;
+  }
+  case StmtKind::IfThenElse: {
+    const IfThenElse *I = stmtAs<IfThenElse>(S);
+    Out += Pad + "if " + printExprImpl(I->Cond) + " {\n";
+    printStmtImpl(I->Then, Indent + 1, Out);
+    if (I->Else) {
+      Out += Pad + "} else {\n";
+      printStmtImpl(I->Else, Indent + 1, Out);
+    }
+    Out += Pad + "}\n";
+    return;
+  }
+  case StmtKind::Block: {
+    for (const StmtPtr &Child : stmtAs<Block>(S)->Stmts)
+      printStmtImpl(Child, Indent, Out);
+    return;
+  }
+  }
+  assert(false && "unknown statement kind");
+}
+
+} // namespace
+
+std::string ir::printExpr(const ExprPtr &E) {
+  assert(E && "printing a null expression");
+  return printExprImpl(E);
+}
+
+std::string ir::printStmt(const StmtPtr &S) {
+  assert(S && "printing a null statement");
+  std::string Out;
+  printStmtImpl(S, 0, Out);
+  return Out;
+}

@@ -1,0 +1,33 @@
+//===- IRPrinter.h - human-readable dump of the loop-nest IR ----*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-printer producing stable, golden-testable text for lowered loop
+/// nests and expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_IR_IRPRINTER_H
+#define LTP_IR_IRPRINTER_H
+
+#include "ir/Expr.h"
+#include "ir/Stmt.h"
+
+#include <string>
+
+namespace ltp {
+namespace ir {
+
+/// Renders \p E as a single-line expression string.
+std::string printExpr(const ExprPtr &E);
+
+/// Renders \p S as an indented multi-line loop-nest listing.
+std::string printStmt(const StmtPtr &S);
+
+} // namespace ir
+} // namespace ltp
+
+#endif // LTP_IR_IRPRINTER_H

@@ -1,0 +1,109 @@
+//===- IRVisitor.cpp - const traversal over the loop-nest IR -------------===//
+
+#include "ir/IRVisitor.h"
+
+using namespace ltp;
+using namespace ltp::ir;
+
+IRVisitor::~IRVisitor() = default;
+
+void IRVisitor::visitExpr(const ExprPtr &E) {
+  assert(E && "visiting a null expression");
+  switch (E->kind()) {
+  case ExprKind::IntImm:
+    visit(exprAs<IntImm>(E));
+    return;
+  case ExprKind::FloatImm:
+    visit(exprAs<FloatImm>(E));
+    return;
+  case ExprKind::VarRef:
+    visit(exprAs<VarRef>(E));
+    return;
+  case ExprKind::Load:
+    visit(exprAs<Load>(E));
+    return;
+  case ExprKind::Binary:
+    visit(exprAs<Binary>(E));
+    return;
+  case ExprKind::Cast:
+    visit(exprAs<Cast>(E));
+    return;
+  case ExprKind::Select:
+    visit(exprAs<Select>(E));
+    return;
+  }
+  assert(false && "unknown expression kind");
+}
+
+void IRVisitor::visitStmt(const StmtPtr &S) {
+  assert(S && "visiting a null statement");
+  switch (S->kind()) {
+  case StmtKind::For:
+    visit(stmtAs<For>(S));
+    return;
+  case StmtKind::Store:
+    visit(stmtAs<Store>(S));
+    return;
+  case StmtKind::LetStmt:
+    visit(stmtAs<LetStmt>(S));
+    return;
+  case StmtKind::IfThenElse:
+    visit(stmtAs<IfThenElse>(S));
+    return;
+  case StmtKind::Block:
+    visit(stmtAs<Block>(S));
+    return;
+  }
+  assert(false && "unknown statement kind");
+}
+
+void IRVisitor::visit(const IntImm *) {}
+void IRVisitor::visit(const FloatImm *) {}
+void IRVisitor::visit(const VarRef *) {}
+
+void IRVisitor::visit(const Load *Node) {
+  for (const ExprPtr &Index : Node->Indices)
+    visitExpr(Index);
+}
+
+void IRVisitor::visit(const Binary *Node) {
+  visitExpr(Node->A);
+  visitExpr(Node->B);
+}
+
+void IRVisitor::visit(const Cast *Node) { visitExpr(Node->Value); }
+
+void IRVisitor::visit(const Select *Node) {
+  visitExpr(Node->Cond);
+  visitExpr(Node->TrueValue);
+  visitExpr(Node->FalseValue);
+}
+
+void IRVisitor::visit(const For *Node) {
+  visitExpr(Node->Min);
+  visitExpr(Node->Extent);
+  visitStmt(Node->Body);
+}
+
+void IRVisitor::visit(const Store *Node) {
+  for (const ExprPtr &Index : Node->Indices)
+    visitExpr(Index);
+  visitExpr(Node->Value);
+}
+
+void IRVisitor::visit(const LetStmt *Node) {
+  visitExpr(Node->Value);
+  visitStmt(Node->Body);
+}
+
+void IRVisitor::visit(const IfThenElse *Node) {
+  visitExpr(Node->Cond);
+  visitStmt(Node->Then);
+  if (Node->Else)
+    visitStmt(Node->Else);
+}
+
+void IRVisitor::visit(const Block *Node) {
+  for (const StmtPtr &S : Node->Stmts)
+    visitStmt(S);
+}

@@ -1,0 +1,54 @@
+//===- IRVisitor.h - const traversal over the loop-nest IR ------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Depth-first visitor over expressions and statements. Subclasses override
+/// the per-node hooks they care about; the default implementations recurse
+/// into children.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_IR_IRVISITOR_H
+#define LTP_IR_IRVISITOR_H
+
+#include "ir/Expr.h"
+#include "ir/Stmt.h"
+
+namespace ltp {
+namespace ir {
+
+/// Depth-first const visitor. Dispatch is manual over StmtKind/ExprKind
+/// because the IR avoids RTTI.
+class IRVisitor {
+public:
+  virtual ~IRVisitor();
+
+  /// Dispatches on the dynamic kind of \p E.
+  void visitExpr(const ExprPtr &E);
+
+  /// Dispatches on the dynamic kind of \p S.
+  void visitStmt(const StmtPtr &S);
+
+protected:
+  virtual void visit(const IntImm *Node);
+  virtual void visit(const FloatImm *Node);
+  virtual void visit(const VarRef *Node);
+  virtual void visit(const Load *Node);
+  virtual void visit(const Binary *Node);
+  virtual void visit(const Cast *Node);
+  virtual void visit(const Select *Node);
+
+  virtual void visit(const For *Node);
+  virtual void visit(const Store *Node);
+  virtual void visit(const LetStmt *Node);
+  virtual void visit(const IfThenElse *Node);
+  virtual void visit(const Block *Node);
+};
+
+} // namespace ir
+} // namespace ltp
+
+#endif // LTP_IR_IRVISITOR_H

@@ -1,0 +1,227 @@
+//===- Simplify.cpp - algebraic simplifier for the loop-nest IR ----------===//
+
+#include "ir/Simplify.h"
+
+#include "ir/IRMutator.h"
+
+#include <algorithm>
+
+using namespace ltp;
+using namespace ltp::ir;
+
+namespace {
+
+/// Folds a binary operation over two integer constants.
+int64_t foldInt(BinOp Op, int64_t A, int64_t B) {
+  switch (Op) {
+  case BinOp::Add:
+    return A + B;
+  case BinOp::Sub:
+    return A - B;
+  case BinOp::Mul:
+    return A * B;
+  case BinOp::Div:
+    assert(B != 0 && "constant division by zero");
+    return A / B;
+  case BinOp::Mod:
+    assert(B != 0 && "constant modulo by zero");
+    return A % B;
+  case BinOp::Min:
+    return std::min(A, B);
+  case BinOp::Max:
+    return std::max(A, B);
+  case BinOp::BitAnd:
+    return A & B;
+  case BinOp::BitOr:
+    return A | B;
+  case BinOp::BitXor:
+    return A ^ B;
+  case BinOp::LT:
+    return A < B;
+  case BinOp::LE:
+    return A <= B;
+  case BinOp::GT:
+    return A > B;
+  case BinOp::GE:
+    return A >= B;
+  case BinOp::EQ:
+    return A == B;
+  case BinOp::NE:
+    return A != B;
+  case BinOp::And:
+    return (A != 0) && (B != 0);
+  case BinOp::Or:
+    return (A != 0) || (B != 0);
+  }
+  assert(false && "unknown binary operator");
+  return 0;
+}
+
+/// Folds a binary operation over two floating-point constants; comparisons
+/// are reported through \p IsBool.
+double foldFloat(BinOp Op, double A, double B, bool &IsBool) {
+  IsBool = isBooleanOp(Op);
+  switch (Op) {
+  case BinOp::Add:
+    return A + B;
+  case BinOp::Sub:
+    return A - B;
+  case BinOp::Mul:
+    return A * B;
+  case BinOp::Div:
+    return A / B;
+  case BinOp::Min:
+    return std::min(A, B);
+  case BinOp::Max:
+    return std::max(A, B);
+  case BinOp::LT:
+    return A < B;
+  case BinOp::LE:
+    return A <= B;
+  case BinOp::GT:
+    return A > B;
+  case BinOp::GE:
+    return A >= B;
+  case BinOp::EQ:
+    return A == B;
+  case BinOp::NE:
+    return A != B;
+  default:
+    assert(false && "operator not defined on floats");
+    return 0.0;
+  }
+}
+
+class SimplifyMutator : public IRMutator {
+protected:
+  ExprPtr mutate(const Binary *Node, const ExprPtr &Original) override {
+    ExprPtr A = mutateExpr(Node->A);
+    ExprPtr B = mutateExpr(Node->B);
+    BinOp Op = Node->Op;
+
+    // Constant folding.
+    const IntImm *IA = exprDynAs<IntImm>(A);
+    const IntImm *IB = exprDynAs<IntImm>(B);
+    if (IA && IB) {
+      int64_t Folded = foldInt(Op, IA->Value, IB->Value);
+      if (isBooleanOp(Op))
+        return IntImm::make(Folded, Type::boolean());
+      return IntImm::make(Folded, A->type());
+    }
+    const FloatImm *FA = exprDynAs<FloatImm>(A);
+    const FloatImm *FB = exprDynAs<FloatImm>(B);
+    if (FA && FB) {
+      bool IsBool = false;
+      double Folded = foldFloat(Op, FA->Value, FB->Value, IsBool);
+      if (IsBool)
+        return IntImm::make(Folded != 0.0, Type::boolean());
+      return FloatImm::make(Folded, A->type());
+    }
+
+    // Algebraic identities on integers (safe: no NaN concerns).
+    if (A->type().isInt()) {
+      if (Op == BinOp::Add && isConstInt(B, 0))
+        return A;
+      if (Op == BinOp::Add && isConstInt(A, 0))
+        return B;
+      if (Op == BinOp::Sub && isConstInt(B, 0))
+        return A;
+      if (Op == BinOp::Mul && isConstInt(B, 1))
+        return A;
+      if (Op == BinOp::Mul && isConstInt(A, 1))
+        return B;
+      if (Op == BinOp::Mul && (isConstInt(A, 0) || isConstInt(B, 0)))
+        return IntImm::make(0, A->type());
+      if (Op == BinOp::Div && isConstInt(B, 1))
+        return A;
+    }
+    // min(x, x) and max(x, x) collapse when both sides are the same node.
+    if ((Op == BinOp::Min || Op == BinOp::Max) && A == B)
+      return A;
+
+    if (A == Node->A && B == Node->B)
+      return Original;
+    return Binary::make(Op, std::move(A), std::move(B));
+  }
+
+  ExprPtr mutate(const Cast *Node, const ExprPtr &Original) override {
+    ExprPtr Value = mutateExpr(Node->Value);
+    if (const IntImm *Imm = exprDynAs<IntImm>(Value)) {
+      if (Node->type().isInt()) {
+        // Fold with the same wrapping the runtime cast performs, so the
+        // constant stays representable in its declared type.
+        int64_t V = Imm->Value;
+        switch (Node->type().kind()) {
+        case TypeKind::UInt8:
+          V = static_cast<uint8_t>(V);
+          break;
+        case TypeKind::UInt32:
+          V = static_cast<uint32_t>(V);
+          break;
+        case TypeKind::Int32:
+          V = static_cast<int32_t>(V);
+          break;
+        default:
+          break;
+        }
+        return IntImm::make(V, Node->type());
+      }
+      if (Node->type().isFloat())
+        return FloatImm::make(static_cast<double>(Imm->Value), Node->type());
+    }
+    if (const FloatImm *Imm = exprDynAs<FloatImm>(Value)) {
+      if (Node->type().isFloat())
+        return FloatImm::make(Imm->Value, Node->type());
+      if (Node->type().isInt())
+        return IntImm::make(static_cast<int64_t>(Imm->Value), Node->type());
+    }
+    if (Value == Node->Value)
+      return Original;
+    return Cast::make(Node->type(), std::move(Value));
+  }
+
+  ExprPtr mutate(const Select *Node, const ExprPtr &Original) override {
+    ExprPtr Cond = mutateExpr(Node->Cond);
+    ExprPtr TrueValue = mutateExpr(Node->TrueValue);
+    ExprPtr FalseValue = mutateExpr(Node->FalseValue);
+    if (const IntImm *Imm = exprDynAs<IntImm>(Cond))
+      return Imm->Value != 0 ? TrueValue : FalseValue;
+    if (Cond == Node->Cond && TrueValue == Node->TrueValue &&
+        FalseValue == Node->FalseValue)
+      return Original;
+    return Select::make(std::move(Cond), std::move(TrueValue),
+                        std::move(FalseValue));
+  }
+
+  StmtPtr mutate(const IfThenElse *Node, const StmtPtr &Original) override {
+    ExprPtr Cond = mutateExpr(Node->Cond);
+    StmtPtr Then = mutateStmt(Node->Then);
+    StmtPtr Else = Node->Else ? mutateStmt(Node->Else) : nullptr;
+    if (const IntImm *Imm = exprDynAs<IntImm>(Cond)) {
+      if (Imm->Value != 0)
+        return Then;
+      if (Else)
+        return Else;
+      // A statically-false branch with no else collapses to an empty block;
+      // represent it as a zero-trip loop so the node stays well-formed.
+      return For::make("_dead", IntImm::make(0), IntImm::make(0),
+                       ForKind::Serial, Then);
+    }
+    if (Cond == Node->Cond && Then == Node->Then && Else == Node->Else)
+      return Original;
+    return IfThenElse::make(std::move(Cond), std::move(Then),
+                            std::move(Else));
+  }
+};
+
+} // namespace
+
+ExprPtr ir::simplify(const ExprPtr &E) {
+  SimplifyMutator M;
+  return M.mutateExpr(E);
+}
+
+StmtPtr ir::simplify(const StmtPtr &S) {
+  SimplifyMutator M;
+  return M.mutateStmt(S);
+}

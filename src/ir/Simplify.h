@@ -1,0 +1,36 @@
+//===- Simplify.h - algebraic simplifier for the loop-nest IR ---*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bottom-up constant folding and algebraic identity rewriting. Lowering
+/// produces bounds expressions such as `min(T, B - t*T)`; the simplifier
+/// collapses them when the tile size divides the bounds so the generated C
+/// code and the printed loop nests stay readable, and so the interpreter
+/// does less work per iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_IR_SIMPLIFY_H
+#define LTP_IR_SIMPLIFY_H
+
+#include "ir/Expr.h"
+#include "ir/Stmt.h"
+
+namespace ltp {
+namespace ir {
+
+/// Returns an algebraically simplified equivalent of \p E.
+ExprPtr simplify(const ExprPtr &E);
+
+/// Returns \p S with every contained expression simplified. Conditionals
+/// with constant conditions are resolved; loops with zero extent are
+/// dropped when they appear inside a block with siblings.
+StmtPtr simplify(const StmtPtr &S);
+
+} // namespace ir
+} // namespace ltp
+
+#endif // LTP_IR_SIMPLIFY_H

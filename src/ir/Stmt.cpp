@@ -1,0 +1,59 @@
+//===- Stmt.cpp - statement nodes of the loop-nest IR --------------------===//
+
+#include "ir/Stmt.h"
+
+using namespace ltp;
+using namespace ltp::ir;
+
+const char *ir::forKindSpelling(ForKind Kind) {
+  switch (Kind) {
+  case ForKind::Serial:
+    return "for";
+  case ForKind::Parallel:
+    return "parallel for";
+  case ForKind::Vectorized:
+    return "vectorized for";
+  case ForKind::Unrolled:
+    return "unrolled for";
+  }
+  assert(false && "unknown for kind");
+  return "";
+}
+
+StmtPtr For::make(const std::string &VarName, ExprPtr Min, ExprPtr Extent,
+                  ForKind Kind, StmtPtr Body) {
+  assert(!VarName.empty() && "for loop requires a variable name");
+  assert(Min && Extent && Body && "for loop requires min/extent/body");
+  assert(Min->type().isInt() && Extent->type().isInt() &&
+         "loop bounds must be integers");
+  return StmtPtr(
+      new For(VarName, std::move(Min), std::move(Extent), Kind,
+              std::move(Body)));
+}
+
+StmtPtr Store::make(const std::string &BufferName,
+                    std::vector<ExprPtr> Indices, ExprPtr Value,
+                    bool NonTemporal) {
+  assert(!BufferName.empty() && "store requires a buffer name");
+  assert(!Indices.empty() && "store requires at least one index");
+  assert(Value && "store requires a value");
+  return StmtPtr(new Store(BufferName, std::move(Indices), std::move(Value),
+                           NonTemporal));
+}
+
+StmtPtr LetStmt::make(const std::string &Name, ExprPtr Value, StmtPtr Body) {
+  assert(!Name.empty() && Value && Body && "let requires name/value/body");
+  return StmtPtr(new LetStmt(Name, std::move(Value), std::move(Body)));
+}
+
+StmtPtr IfThenElse::make(ExprPtr Cond, StmtPtr Then, StmtPtr Else) {
+  assert(Cond && Then && "if requires a condition and a then-branch");
+  assert(Cond->type().isBool() && "if condition must be boolean");
+  return StmtPtr(
+      new IfThenElse(std::move(Cond), std::move(Then), std::move(Else)));
+}
+
+StmtPtr Block::make(std::vector<StmtPtr> Stmts) {
+  assert(!Stmts.empty() && "block requires at least one statement");
+  return StmtPtr(new Block(std::move(Stmts)));
+}

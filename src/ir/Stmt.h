@@ -1,0 +1,175 @@
+//===- Stmt.h - statement nodes of the loop-nest IR -------------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statement nodes for lowered loop nests: typed counted loops (serial,
+/// parallel, vectorized, unrolled), multi-dimensional stores (optionally
+/// marked non-temporal — the scheduling directive this project adds to the
+/// compiler, Section 4 of the paper), let bindings, conditionals and blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_IR_STMT_H
+#define LTP_IR_STMT_H
+
+#include "ir/Expr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ltp {
+namespace ir {
+
+/// Discriminator for statement nodes.
+enum class StmtKind {
+  For,
+  Store,
+  LetStmt,
+  IfThenElse,
+  Block,
+};
+
+/// Execution strategy of a For loop.
+enum class ForKind {
+  Serial,
+  Parallel,
+  Vectorized,
+  Unrolled,
+};
+
+/// Printable spelling of a ForKind.
+const char *forKindSpelling(ForKind Kind);
+
+class BaseStmtNode;
+
+/// Shared handle to an immutable statement node.
+using StmtPtr = std::shared_ptr<const BaseStmtNode>;
+
+/// Base class of all statement nodes.
+class BaseStmtNode {
+public:
+  explicit BaseStmtNode(StmtKind Kind) : Kind(Kind) {}
+  virtual ~BaseStmtNode() = default;
+
+  StmtKind kind() const { return Kind; }
+
+private:
+  StmtKind Kind;
+};
+
+/// Counted loop over [Min, Min + Extent).
+class For : public BaseStmtNode {
+public:
+  std::string VarName;
+  ExprPtr Min;
+  ExprPtr Extent;
+  ForKind Kind;
+  StmtPtr Body;
+
+  static StmtPtr make(const std::string &VarName, ExprPtr Min, ExprPtr Extent,
+                      ForKind Kind, StmtPtr Body);
+
+private:
+  For(const std::string &VarName, ExprPtr Min, ExprPtr Extent, ForKind Kind,
+      StmtPtr Body)
+      : BaseStmtNode(StmtKind::For), VarName(VarName), Min(std::move(Min)),
+        Extent(std::move(Extent)), Kind(Kind), Body(std::move(Body)) {}
+};
+
+/// Multi-dimensional store to a named buffer. When NonTemporal is set, the
+/// code generator emits streaming stores that bypass the cache.
+class Store : public BaseStmtNode {
+public:
+  std::string BufferName;
+  std::vector<ExprPtr> Indices;
+  ExprPtr Value;
+  bool NonTemporal;
+
+  static StmtPtr make(const std::string &BufferName,
+                      std::vector<ExprPtr> Indices, ExprPtr Value,
+                      bool NonTemporal = false);
+
+private:
+  Store(const std::string &BufferName, std::vector<ExprPtr> Indices,
+        ExprPtr Value, bool NonTemporal)
+      : BaseStmtNode(StmtKind::Store), BufferName(BufferName),
+        Indices(std::move(Indices)), Value(std::move(Value)),
+        NonTemporal(NonTemporal) {}
+};
+
+/// Scoped scalar binding.
+class LetStmt : public BaseStmtNode {
+public:
+  std::string Name;
+  ExprPtr Value;
+  StmtPtr Body;
+
+  static StmtPtr make(const std::string &Name, ExprPtr Value, StmtPtr Body);
+
+private:
+  LetStmt(const std::string &Name, ExprPtr Value, StmtPtr Body)
+      : BaseStmtNode(StmtKind::LetStmt), Name(Name), Value(std::move(Value)),
+        Body(std::move(Body)) {}
+};
+
+/// Conditional; Else may be null.
+class IfThenElse : public BaseStmtNode {
+public:
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else;
+
+  static StmtPtr make(ExprPtr Cond, StmtPtr Then, StmtPtr Else = nullptr);
+
+private:
+  IfThenElse(ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : BaseStmtNode(StmtKind::IfThenElse), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+};
+
+/// Ordered statement sequence.
+class Block : public BaseStmtNode {
+public:
+  std::vector<StmtPtr> Stmts;
+
+  static StmtPtr make(std::vector<StmtPtr> Stmts);
+
+private:
+  explicit Block(std::vector<StmtPtr> Stmts)
+      : BaseStmtNode(StmtKind::Block), Stmts(std::move(Stmts)) {}
+};
+
+/// Convenience downcast with no checking; the IR has no RTTI.
+template <typename NodeT> const NodeT *stmtAs(const StmtPtr &S) {
+  return static_cast<const NodeT *>(S.get());
+}
+
+/// Checked downcast returning nullptr on kind mismatch.
+template <typename NodeT> const NodeT *stmtDynAs(const StmtPtr &S);
+
+template <> inline const For *stmtDynAs<For>(const StmtPtr &S) {
+  return S && S->kind() == StmtKind::For ? stmtAs<For>(S) : nullptr;
+}
+template <> inline const Store *stmtDynAs<Store>(const StmtPtr &S) {
+  return S && S->kind() == StmtKind::Store ? stmtAs<Store>(S) : nullptr;
+}
+template <> inline const LetStmt *stmtDynAs<LetStmt>(const StmtPtr &S) {
+  return S && S->kind() == StmtKind::LetStmt ? stmtAs<LetStmt>(S) : nullptr;
+}
+template <>
+inline const IfThenElse *stmtDynAs<IfThenElse>(const StmtPtr &S) {
+  return S && S->kind() == StmtKind::IfThenElse ? stmtAs<IfThenElse>(S)
+                                                : nullptr;
+}
+template <> inline const Block *stmtDynAs<Block>(const StmtPtr &S) {
+  return S && S->kind() == StmtKind::Block ? stmtAs<Block>(S) : nullptr;
+}
+
+} // namespace ir
+} // namespace ltp
+
+#endif // LTP_IR_STMT_H

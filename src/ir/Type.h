@@ -1,0 +1,129 @@
+//===- Type.h - scalar types for the loop-nest IR ---------------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar element types carried by IR expressions and buffers. The data
+/// type size (DTS in Table 1 of the paper) feeds directly into the cache
+/// analysis, so types are tracked explicitly end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_IR_TYPE_H
+#define LTP_IR_TYPE_H
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+
+namespace ltp {
+namespace ir {
+
+/// Discriminator for the scalar types the IR supports.
+enum class TypeKind {
+  Int32,
+  Int64,
+  UInt8,
+  UInt32,
+  Float32,
+  Float64,
+  Bool,
+};
+
+/// A scalar element type.
+class Type {
+public:
+  constexpr Type() : Kind(TypeKind::Int32) {}
+  constexpr explicit Type(TypeKind Kind) : Kind(Kind) {}
+
+  TypeKind kind() const { return Kind; }
+
+  /// Size of one element in bytes (the DTS model parameter).
+  size_t bytes() const {
+    switch (Kind) {
+    case TypeKind::Int32:
+    case TypeKind::UInt32:
+    case TypeKind::Float32:
+      return 4;
+    case TypeKind::Int64:
+    case TypeKind::Float64:
+      return 8;
+    case TypeKind::UInt8:
+    case TypeKind::Bool:
+      return 1;
+    }
+    assert(false && "unknown type kind");
+    return 0;
+  }
+
+  bool isFloat() const {
+    return Kind == TypeKind::Float32 || Kind == TypeKind::Float64;
+  }
+  bool isInt() const { return !isFloat() && Kind != TypeKind::Bool; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+
+  /// Spelling of the matching C type, used by the C code generator.
+  std::string cName() const {
+    switch (Kind) {
+    case TypeKind::Int32:
+      return "int32_t";
+    case TypeKind::Int64:
+      return "int64_t";
+    case TypeKind::UInt8:
+      return "uint8_t";
+    case TypeKind::UInt32:
+      return "uint32_t";
+    case TypeKind::Float32:
+      return "float";
+    case TypeKind::Float64:
+      return "double";
+    case TypeKind::Bool:
+      return "uint8_t";
+    }
+    assert(false && "unknown type kind");
+    return "";
+  }
+
+  /// Human-readable spelling used by the IR printer.
+  std::string str() const {
+    switch (Kind) {
+    case TypeKind::Int32:
+      return "i32";
+    case TypeKind::Int64:
+      return "i64";
+    case TypeKind::UInt8:
+      return "u8";
+    case TypeKind::UInt32:
+      return "u32";
+    case TypeKind::Float32:
+      return "f32";
+    case TypeKind::Float64:
+      return "f64";
+    case TypeKind::Bool:
+      return "bool";
+    }
+    assert(false && "unknown type kind");
+    return "";
+  }
+
+  friend bool operator==(Type A, Type B) { return A.Kind == B.Kind; }
+  friend bool operator!=(Type A, Type B) { return A.Kind != B.Kind; }
+
+  static constexpr Type int32() { return Type(TypeKind::Int32); }
+  static constexpr Type int64() { return Type(TypeKind::Int64); }
+  static constexpr Type uint8() { return Type(TypeKind::UInt8); }
+  static constexpr Type uint32() { return Type(TypeKind::UInt32); }
+  static constexpr Type float32() { return Type(TypeKind::Float32); }
+  static constexpr Type float64() { return Type(TypeKind::Float64); }
+  static constexpr Type boolean() { return Type(TypeKind::Bool); }
+
+private:
+  TypeKind Kind;
+};
+
+} // namespace ir
+} // namespace ltp
+
+#endif // LTP_IR_TYPE_H

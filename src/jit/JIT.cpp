@@ -1,0 +1,195 @@
+//===- JIT.cpp - compile generated C and load kernels ---------------------===//
+
+#include "jit/JIT.h"
+
+#include "runtime/ThreadPool.h"
+#include "support/Format.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace ltp;
+
+namespace {
+
+/// Host-side mirror of the runtime struct emitted into generated code; the
+/// layouts must match (a single function pointer).
+struct LtpJitRuntime {
+  void (*ParallelFor)(const LtpJitRuntime *Rt, int64_t Min, int64_t Extent,
+                      void (*Body)(int64_t, void *), void *Closure);
+};
+
+void hostParallelFor(const LtpJitRuntime *, int64_t Min, int64_t Extent,
+                     void (*Body)(int64_t, void *), void *Closure) {
+  ThreadPool::global().parallelFor(
+      Min, Extent, [&](int64_t I) { Body(I, Closure); });
+}
+
+using KernelFn = void (*)(void *const *, const LtpJitRuntime *);
+
+std::atomic<int> ModuleCounter{0};
+
+/// Reads a whole file into a string (tool diagnostics).
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CompiledKernel
+//===----------------------------------------------------------------------===//
+
+CompiledKernel::CompiledKernel(CompiledKernel &&Other) noexcept {
+  *this = std::move(Other);
+}
+
+CompiledKernel &CompiledKernel::operator=(CompiledKernel &&Other) noexcept {
+  if (this != &Other) {
+    if (Handle)
+      dlclose(Handle);
+    Handle = Other.Handle;
+    Entry = Other.Entry;
+    Signature = std::move(Other.Signature);
+    Source = std::move(Other.Source);
+    SharedObjectPath = std::move(Other.SharedObjectPath);
+    Other.Handle = nullptr;
+    Other.Entry = nullptr;
+  }
+  return *this;
+}
+
+CompiledKernel::~CompiledKernel() {
+  if (Handle)
+    dlclose(Handle);
+  if (!SharedObjectPath.empty())
+    ::unlink(SharedObjectPath.c_str());
+}
+
+void CompiledKernel::runRaw(const std::vector<void *> &BufferPointers) const {
+  assert(Entry && "running a moved-from kernel");
+  assert(BufferPointers.size() == Signature.size() &&
+         "buffer count does not match the kernel signature");
+  LtpJitRuntime Rt{hostParallelFor};
+  reinterpret_cast<KernelFn>(Entry)(BufferPointers.data(), &Rt);
+}
+
+void CompiledKernel::run(
+    const std::map<std::string, BufferRef> &Buffers) const {
+  std::vector<void *> Pointers;
+  Pointers.reserve(Signature.size());
+  for (const BufferBinding &Binding : Signature) {
+    auto It = Buffers.find(Binding.Name);
+    assert(It != Buffers.end() && "kernel buffer not bound");
+    const BufferRef &Ref = It->second;
+    assert(Ref.ElemType == Binding.ElemType &&
+           "buffer element type does not match the compiled signature");
+    assert(Ref.Extents == Binding.Extents &&
+           "buffer extents do not match the compiled signature");
+    assert(Ref.Strides == Binding.Strides &&
+           "buffer strides do not match the compiled signature");
+    Pointers.push_back(Ref.Data);
+  }
+  runRaw(Pointers);
+}
+
+//===----------------------------------------------------------------------===//
+// JITCompiler
+//===----------------------------------------------------------------------===//
+
+JITCompiler::JITCompiler(std::string CompilerPath)
+    : Compiler(std::move(CompilerPath)) {
+  if (Compiler.empty()) {
+    if (const char *FromEnv = std::getenv("LTP_CC"))
+      Compiler = FromEnv;
+    else
+      Compiler = "cc";
+  }
+  // Private module directory under TMPDIR.
+  const char *Tmp = std::getenv("TMPDIR");
+  std::string Base = Tmp ? Tmp : "/tmp";
+  WorkDir = Base + strFormat("/ltp-jit-%d", static_cast<int>(::getpid()));
+  ::mkdir(WorkDir.c_str(), 0700);
+}
+
+ErrorOr<CompiledKernel>
+JITCompiler::compile(const ir::StmtPtr &S,
+                     const std::vector<BufferBinding> &Signature,
+                     const CodeGenOptions &Options) {
+  int Id = ModuleCounter.fetch_add(1);
+  std::string KernelName = "ltp_kernel";
+  std::string Source = generateC(S, Signature, KernelName, Options);
+
+  std::string CPath = WorkDir + strFormat("/mod_%d.c", Id);
+  std::string SoPath = WorkDir + strFormat("/mod_%d.so", Id);
+  std::string ErrPath = WorkDir + strFormat("/mod_%d.err", Id);
+  {
+    std::ofstream Out(CPath);
+    if (!Out.good())
+      return ErrorOr<CompiledKernel>::makeError(
+          "cannot write JIT source to " + CPath);
+    Out << Source;
+  }
+
+  // -O3 with GCC's loop-nest restructuring disabled: the schedule encoded
+  // in the generated source (tiling, interchange) is the experiment; the
+  // back-end compiler must vectorize and register-allocate it, not
+  // re-tile it (Halide's LLVM back end likewise performs no loop-nest
+  // restructuring).
+  std::string Command = strFormat(
+      "%s -O3 -march=native -fno-loop-interchange -fno-loop-unroll-and-jam "
+      "-fPIC -shared -o '%s' '%s' 2> '%s'",
+      Compiler.c_str(), SoPath.c_str(), CPath.c_str(), ErrPath.c_str());
+  int Status = std::system(Command.c_str());
+  if (Status != 0) {
+    std::string Diag = slurp(ErrPath);
+    ::unlink(CPath.c_str());
+    ::unlink(ErrPath.c_str());
+    return ErrorOr<CompiledKernel>::makeError(
+        "JIT compilation failed (" + Command + "):\n" + Diag);
+  }
+  ::unlink(CPath.c_str());
+  ::unlink(ErrPath.c_str());
+
+  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle)
+    return ErrorOr<CompiledKernel>::makeError(
+        std::string("dlopen failed: ") + dlerror());
+  void *Entry = dlsym(Handle, KernelName.c_str());
+  if (!Entry) {
+    dlclose(Handle);
+    return ErrorOr<CompiledKernel>::makeError(
+        "kernel symbol missing from JIT module");
+  }
+
+  CompiledKernel Kernel;
+  Kernel.Handle = Handle;
+  Kernel.Entry = Entry;
+  Kernel.Signature = Signature;
+  Kernel.Source = std::move(Source);
+  Kernel.SharedObjectPath = SoPath;
+  ++CompileCount;
+  return Kernel;
+}
+
+bool ltp::jitAvailable() {
+  static int Cached = -1;
+  if (Cached >= 0)
+    return Cached != 0;
+  const char *FromEnv = std::getenv("LTP_CC");
+  std::string Compiler = FromEnv ? FromEnv : "cc";
+  std::string Command = Compiler + " --version > /dev/null 2>&1";
+  Cached = std::system(Command.c_str()) == 0 ? 1 : 0;
+  return Cached != 0;
+}

@@ -1,0 +1,101 @@
+//===- JIT.h - compile generated C and load kernels -------------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the host C compiler over generated source (codegen/CodeGenC.h),
+/// loads the resulting shared object and hands out callable kernels. This
+/// plays the role of Halide's JIT: schedules produced by the optimizer (or
+/// by the autotuner's search loop) become natively compiled functions
+/// within a fraction of a second.
+///
+/// Kernel ABI: `void kernel(void *const *bufs, const ltp_jit_runtime *rt)`
+/// where `rt->parallel_for` dispatches parallel loops; the host binds it to
+/// the process thread pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_JIT_JIT_H
+#define LTP_JIT_JIT_H
+
+#include "codegen/CodeGenC.h"
+#include "ir/Stmt.h"
+#include "runtime/Buffer.h"
+#include "support/ErrorOr.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ltp {
+
+/// A loaded, callable kernel. Movable; unloads its shared object on
+/// destruction.
+class CompiledKernel {
+public:
+  CompiledKernel(CompiledKernel &&Other) noexcept;
+  CompiledKernel &operator=(CompiledKernel &&Other) noexcept;
+  CompiledKernel(const CompiledKernel &) = delete;
+  CompiledKernel &operator=(const CompiledKernel &) = delete;
+  ~CompiledKernel();
+
+  /// Runs the kernel. \p Buffers are matched to the compile-time signature
+  /// by name; extents and strides must equal the compile-time shapes.
+  /// Parallel loops run on the process thread pool.
+  void run(const std::map<std::string, BufferRef> &Buffers) const;
+
+  /// Runs with raw pointers in signature order (no shape checking).
+  void runRaw(const std::vector<void *> &BufferPointers) const;
+
+  /// The signature the kernel was compiled against.
+  const std::vector<BufferBinding> &signature() const { return Signature; }
+
+  /// The generated C source (useful for inspection and golden tests).
+  const std::string &source() const { return Source; }
+
+private:
+  friend class JITCompiler;
+  CompiledKernel() = default;
+
+  void *Handle = nullptr;          // dlopen handle
+  void *Entry = nullptr;           // kernel function pointer
+  std::vector<BufferBinding> Signature;
+  std::string Source;
+  std::string SharedObjectPath;
+};
+
+/// Compiles lowered statements into callable kernels via the host C
+/// compiler.
+class JITCompiler {
+public:
+  /// Uses \p CompilerPath, the LTP_CC environment variable, or "cc".
+  explicit JITCompiler(std::string CompilerPath = "");
+
+  /// True when a working C compiler was found (checked lazily on first
+  /// compile).
+  const std::string &compilerPath() const { return Compiler; }
+
+  /// Compiles \p S against \p Signature. Returns the kernel or a
+  /// diagnostic (compiler missing / compile error with the tool output).
+  ErrorOr<CompiledKernel>
+  compile(const ir::StmtPtr &S, const std::vector<BufferBinding> &Signature,
+          const CodeGenOptions &Options = CodeGenOptions());
+
+  /// Number of successful compilations (used by autotuner statistics).
+  int compileCount() const { return CompileCount; }
+
+private:
+  std::string Compiler;
+  std::string WorkDir;
+  int CompileCount = 0;
+};
+
+/// Returns true when JIT compilation is expected to work on this host.
+bool jitAvailable();
+
+} // namespace ltp
+
+#endif // LTP_JIT_JIT_H

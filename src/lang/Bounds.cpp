@@ -1,0 +1,357 @@
+//===- Bounds.cpp - interval analysis over lowered loop nests -------------===//
+
+#include "lang/Bounds.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace ltp;
+using namespace ltp::ir;
+
+namespace {
+
+/// Binding of one loop/let variable. Guarded bindings carry the relation
+/// produced by split tail guards — `var <= Limit - 1 - Outer*Factor` —
+/// so `Outer*Factor + var` evaluates exactly instead of by interval
+/// arithmetic (which would overshoot by up to Factor-1 and flag legal
+/// tiled schedules as out of bounds).
+struct VarBinding {
+  Interval Range;
+  bool Guarded = false;
+  std::string OuterVar;
+  int64_t Factor = 0;
+  int64_t Limit = 0; // exclusive upper bound of Outer*Factor + var
+};
+
+/// Interval environment for loop/let variables.
+using Env = std::map<std::string, VarBinding>;
+
+Interval evalInterval(const ExprPtr &E, const Env &Environment);
+
+/// Matches `Mul(VarRef(Outer), Factor) + VarRef(Guarded)` (either operand
+/// order) against a guarded binding and returns its exact range.
+bool matchGuardedSum(const ExprPtr &A, const ExprPtr &B,
+                     const Env &Environment, Interval &Out) {
+  const VarRef *Inner = exprDynAs<VarRef>(B);
+  if (!Inner)
+    return false;
+  auto It = Environment.find(Inner->Name);
+  if (It == Environment.end() || !It->second.Guarded)
+    return false;
+  const Binary *MulNode = exprDynAs<Binary>(A);
+  if (!MulNode || MulNode->Op != BinOp::Mul)
+    return false;
+  const VarRef *Outer = exprDynAs<VarRef>(MulNode->A);
+  auto Factor = asConstInt(MulNode->B);
+  if (!Outer || !Factor)
+    return false;
+  const VarBinding &Guard = It->second;
+  if (Outer->Name != Guard.OuterVar || *Factor != Guard.Factor)
+    return false;
+  auto OuterIt = Environment.find(Outer->Name);
+  if (OuterIt == Environment.end())
+    return false;
+  Out = Interval{OuterIt->second.Range.Min * Guard.Factor + Guard.Range.Min,
+                 Guard.Limit - 1};
+  return true;
+}
+
+Interval evalBinary(const Binary *B, const Env &Environment) {
+  if (B->Op == BinOp::Add) {
+    Interval Exact;
+    if (matchGuardedSum(B->A, B->B, Environment, Exact) ||
+        matchGuardedSum(B->B, B->A, Environment, Exact))
+      return Exact;
+  }
+  Interval A = evalInterval(B->A, Environment);
+  Interval C = evalInterval(B->B, Environment);
+  switch (B->Op) {
+  case BinOp::Add:
+    return Interval{A.Min + C.Min, A.Max + C.Max};
+  case BinOp::Sub:
+    return Interval{A.Min - C.Max, A.Max - C.Min};
+  case BinOp::Mul: {
+    int64_t P1 = A.Min * C.Min, P2 = A.Min * C.Max;
+    int64_t P3 = A.Max * C.Min, P4 = A.Max * C.Max;
+    return Interval{std::min(std::min(P1, P2), std::min(P3, P4)),
+                    std::max(std::max(P1, P2), std::max(P3, P4))};
+  }
+  case BinOp::Div: {
+    // Only constant positive divisors appear in lowered code (fuse
+    // reconstruction); be conservative otherwise.
+    if (C.Min == C.Max && C.Min > 0) {
+      // Flooring semantics are safe here: operands are non-negative in
+      // lowered index code; take the hull of both roundings anyway.
+      int64_t Q1 = A.Min / C.Min, Q2 = A.Max / C.Min;
+      return Interval{std::min(Q1, Q2), std::max(Q1, Q2)};
+    }
+    return Interval{std::numeric_limits<int32_t>::min(),
+                    std::numeric_limits<int32_t>::max()};
+  }
+  case BinOp::Mod:
+    if (C.Min == C.Max && C.Min > 0) {
+      if (A.Min >= 0 && A.Max < C.Min)
+        return A; // no wrap: identity
+      return Interval{0, C.Min - 1};
+    }
+    return Interval{std::numeric_limits<int32_t>::min(),
+                    std::numeric_limits<int32_t>::max()};
+  case BinOp::Min:
+    return Interval{std::min(A.Min, C.Min), std::min(A.Max, C.Max)};
+  case BinOp::Max:
+    return Interval{std::max(A.Min, C.Min), std::max(A.Max, C.Max)};
+  case BinOp::LT:
+  case BinOp::LE:
+  case BinOp::GT:
+  case BinOp::GE:
+  case BinOp::EQ:
+  case BinOp::NE:
+  case BinOp::And:
+  case BinOp::Or:
+    return Interval{0, 1};
+  case BinOp::BitAnd:
+  case BinOp::BitOr:
+  case BinOp::BitXor:
+    // Not used in index expressions; cover data expressions loosely.
+    return Interval::hull(A, C);
+  }
+  assert(false && "unknown binary operator");
+  return Interval{0, 0};
+}
+
+Interval evalInterval(const ExprPtr &E, const Env &Environment) {
+  switch (E->kind()) {
+  case ExprKind::IntImm:
+    return Interval::point(exprAs<IntImm>(E)->Value);
+  case ExprKind::FloatImm:
+    return Interval{0, 0}; // data value; irrelevant to index ranges
+  case ExprKind::VarRef: {
+    auto It = Environment.find(exprAs<VarRef>(E)->Name);
+    assert(It != Environment.end() &&
+           "interval evaluation of an unbound variable");
+    return It->second.Range;
+  }
+  case ExprKind::Load:
+    // Data value loaded from memory; its *indices* are handled by the
+    // statement walker, and data values never feed index expressions in
+    // lowered code.
+    return Interval{std::numeric_limits<int32_t>::min(),
+                    std::numeric_limits<int32_t>::max()};
+  case ExprKind::Binary:
+    return evalBinary(exprAs<Binary>(E), Environment);
+  case ExprKind::Cast:
+    return evalInterval(exprAs<Cast>(E)->Value, Environment);
+  case ExprKind::Select: {
+    const Select *S = exprAs<Select>(E);
+    return Interval::hull(evalInterval(S->TrueValue, Environment),
+                          evalInterval(S->FalseValue, Environment));
+  }
+  }
+  assert(false && "unknown expression kind");
+  return Interval{0, 0};
+}
+
+/// Walks expressions recording buffer index ranges.
+void recordExprAccesses(const ExprPtr &E, const Env &Environment,
+                        std::map<std::string, BufferRegion> &Regions,
+                        bool InWrite);
+
+void recordIndexedAccess(const std::string &Buffer,
+                         const std::vector<ExprPtr> &Indices,
+                         const Env &Environment,
+                         std::map<std::string, BufferRegion> &Regions,
+                         bool IsWrite) {
+  BufferRegion &Region = Regions[Buffer];
+  bool First = Region.Dims.empty();
+  if (First)
+    Region.Dims.resize(Indices.size());
+  assert(Region.Dims.size() == Indices.size() &&
+         "buffer accessed with inconsistent rank");
+  for (size_t D = 0; D != Indices.size(); ++D) {
+    Interval Range = evalInterval(Indices[D], Environment);
+    Region.Dims[D] =
+        First ? Range : Interval::hull(Region.Dims[D], Range);
+  }
+  if (IsWrite)
+    Region.Written = true;
+  else
+    Region.Read = true;
+}
+
+void recordExprAccesses(const ExprPtr &E, const Env &Environment,
+                        std::map<std::string, BufferRegion> &Regions,
+                        bool InWrite) {
+  (void)InWrite;
+  switch (E->kind()) {
+  case ExprKind::IntImm:
+  case ExprKind::FloatImm:
+  case ExprKind::VarRef:
+    return;
+  case ExprKind::Load: {
+    const Load *L = exprAs<Load>(E);
+    for (const ExprPtr &Index : L->Indices)
+      recordExprAccesses(Index, Environment, Regions, false);
+    recordIndexedAccess(L->BufferName, L->Indices, Environment, Regions,
+                        /*IsWrite=*/false);
+    return;
+  }
+  case ExprKind::Binary: {
+    const Binary *B = exprAs<Binary>(E);
+    recordExprAccesses(B->A, Environment, Regions, false);
+    recordExprAccesses(B->B, Environment, Regions, false);
+    return;
+  }
+  case ExprKind::Cast:
+    recordExprAccesses(exprAs<Cast>(E)->Value, Environment, Regions,
+                       false);
+    return;
+  case ExprKind::Select: {
+    const Select *S = exprAs<Select>(E);
+    recordExprAccesses(S->Cond, Environment, Regions, false);
+    recordExprAccesses(S->TrueValue, Environment, Regions, false);
+    recordExprAccesses(S->FalseValue, Environment, Regions, false);
+    return;
+  }
+  }
+  assert(false && "unknown expression kind");
+}
+
+void walkStmt(const StmtPtr &S, Env &Environment,
+              std::map<std::string, BufferRegion> &Regions, bool &Exact) {
+  switch (S->kind()) {
+  case StmtKind::For: {
+    const For *F = stmtAs<For>(S);
+    Interval Min = evalInterval(F->Min, Environment);
+    Interval Extent = evalInterval(F->Extent, Environment);
+    if (Extent.Max <= 0)
+      return; // never executes
+    // The variable covers [min(Min), max(Min) + max(Extent) - 1], but
+    // only extents >= 1 execute; clamp the extent's lower end at 1.
+    VarBinding Binding;
+    Binding.Range = Interval{Min.Min,
+                             Min.Max + std::max<int64_t>(Extent.Max, 1) - 1};
+    // Split tail guard: extent = min(F, Limit - Outer*F) establishes the
+    // relation Outer*F + var < Limit, which matchGuardedSum exploits.
+    if (const Binary *MinNode = exprDynAs<Binary>(F->Extent);
+        MinNode && MinNode->Op == BinOp::Min && isConstInt(F->Min, 0)) {
+      auto Factor = asConstInt(MinNode->A);
+      const Binary *SubNode = exprDynAs<Binary>(MinNode->B);
+      if (Factor && SubNode && SubNode->Op == BinOp::Sub) {
+        auto Limit = asConstInt(SubNode->A);
+        const Binary *MulNode = exprDynAs<Binary>(SubNode->B);
+        if (Limit && MulNode && MulNode->Op == BinOp::Mul) {
+          const VarRef *Outer = exprDynAs<VarRef>(MulNode->A);
+          auto MulFactor = asConstInt(MulNode->B);
+          if (Outer && MulFactor && *MulFactor == *Factor) {
+            Binding.Guarded = true;
+            Binding.OuterVar = Outer->Name;
+            Binding.Factor = *Factor;
+            Binding.Limit = *Limit;
+          }
+        }
+      }
+      if (!Binding.Guarded)
+        Exact = false; // unrecognized guard: intervals over-approximate
+    }
+    auto Saved = Environment.find(F->VarName);
+    bool HadBinding = Saved != Environment.end();
+    VarBinding SavedBinding = HadBinding ? Saved->second : VarBinding{};
+    Environment[F->VarName] = Binding;
+    walkStmt(F->Body, Environment, Regions, Exact);
+    if (HadBinding)
+      Environment[F->VarName] = SavedBinding;
+    else
+      Environment.erase(F->VarName);
+    return;
+  }
+  case StmtKind::Store: {
+    const Store *St = stmtAs<Store>(S);
+    for (const ExprPtr &Index : St->Indices)
+      recordExprAccesses(Index, Environment, Regions, false);
+    recordExprAccesses(St->Value, Environment, Regions, false);
+    recordIndexedAccess(St->BufferName, St->Indices, Environment, Regions,
+                        /*IsWrite=*/true);
+    return;
+  }
+  case StmtKind::LetStmt: {
+    const LetStmt *L = stmtAs<LetStmt>(S);
+    recordExprAccesses(L->Value, Environment, Regions, false);
+    VarBinding Binding;
+    Binding.Range = evalInterval(L->Value, Environment);
+    auto Saved = Environment.find(L->Name);
+    bool HadBinding = Saved != Environment.end();
+    VarBinding SavedBinding = HadBinding ? Saved->second : VarBinding{};
+    Environment[L->Name] = Binding;
+    walkStmt(L->Body, Environment, Regions, Exact);
+    if (HadBinding)
+      Environment[L->Name] = SavedBinding;
+    else
+      Environment.erase(L->Name);
+    return;
+  }
+  case StmtKind::IfThenElse: {
+    const IfThenElse *I = stmtAs<IfThenElse>(S);
+    recordExprAccesses(I->Cond, Environment, Regions, false);
+    // Conservative: both branches may run.
+    walkStmt(I->Then, Environment, Regions, Exact);
+    if (I->Else)
+      walkStmt(I->Else, Environment, Regions, Exact);
+    return;
+  }
+  case StmtKind::Block: {
+    for (const StmtPtr &Child : stmtAs<Block>(S)->Stmts)
+      walkStmt(Child, Environment, Regions, Exact);
+    return;
+  }
+  }
+  assert(false && "unknown statement kind");
+}
+
+} // namespace
+
+AccessAnalysis ltp::analyzeAccesses(const StmtPtr &S) {
+  assert(S && "bounds analysis of a null statement");
+  AccessAnalysis Result;
+  Env Environment;
+  walkStmt(S, Environment, Result.Regions, Result.Exact);
+  return Result;
+}
+
+std::map<std::string, BufferRegion>
+ltp::computeAccessedRegions(const StmtPtr &S) {
+  return analyzeAccesses(S).Regions;
+}
+
+std::string
+ltp::validateAccesses(const StmtPtr &S,
+                      const std::map<std::string, BufferRef> &Buffers) {
+  AccessAnalysis Analysis = analyzeAccesses(S);
+  for (const auto &[Name, Region] : Analysis.Regions) {
+    auto It = Buffers.find(Name);
+    if (It == Buffers.end())
+      return strFormat("buffer '%s' is accessed but not bound",
+                       Name.c_str());
+    const BufferRef &Ref = It->second;
+    if (Region.Dims.size() != Ref.Extents.size())
+      return strFormat("buffer '%s' accessed with rank %zu but has rank "
+                       "%zu",
+                       Name.c_str(), Region.Dims.size(),
+                       Ref.Extents.size());
+    for (size_t D = 0; D != Region.Dims.size(); ++D) {
+      if (!Analysis.Exact)
+        continue; // range may be an over-approximation artifact
+      if (Region.Dims[D].Min < 0 ||
+          Region.Dims[D].Max >= Ref.Extents[D])
+        return strFormat(
+            "buffer '%s' dimension %zu: accessed range [%lld, %lld] "
+            "exceeds extent %lld",
+            Name.c_str(), D, static_cast<long long>(Region.Dims[D].Min),
+            static_cast<long long>(Region.Dims[D].Max),
+            static_cast<long long>(Ref.Extents[D]));
+    }
+  }
+  return "";
+}

@@ -1,0 +1,90 @@
+//===- Bounds.h - interval analysis over lowered loop nests -----*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative interval analysis over lowered statements: computes, for
+/// every buffer, the inclusive per-dimension index range the nest can
+/// touch. Used to validate buffer shapes before running a schedule
+/// (tiling with min() tail guards, fused loops with div/mod index
+/// reconstruction and stencil halos all produce index expressions whose
+/// range is not obvious from the definition) and to check that schedule
+/// transformations never change the accessed region — a lowering
+/// invariant the test suite sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_LANG_BOUNDS_H
+#define LTP_LANG_BOUNDS_H
+
+#include "ir/Stmt.h"
+#include "runtime/Buffer.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ltp {
+
+/// Inclusive integer interval.
+struct Interval {
+  int64_t Min = 0;
+  int64_t Max = 0;
+
+  int64_t extent() const { return Max - Min + 1; }
+
+  static Interval point(int64_t V) { return Interval{V, V}; }
+
+  /// Smallest interval covering both.
+  static Interval hull(Interval A, Interval B) {
+    return Interval{std::min(A.Min, B.Min), std::max(A.Max, B.Max)};
+  }
+
+  friend bool operator==(const Interval &A, const Interval &B) {
+    return A.Min == B.Min && A.Max == B.Max;
+  }
+};
+
+/// Accessed region of one buffer.
+struct BufferRegion {
+  std::vector<Interval> Dims;
+  bool Read = false;
+  bool Written = false;
+};
+
+/// Result of the analysis. `Exact` is true when every split tail guard in
+/// the nest matched the relational pattern the analysis understands
+/// (single-level splits, which is what the optimizers emit); nested
+/// guarded splits force plain interval arithmetic, which over-approximates
+/// by up to a tile per level.
+struct AccessAnalysis {
+  std::map<std::string, BufferRegion> Regions;
+  bool Exact = true;
+};
+
+/// Computes the per-buffer accessed regions of \p S. Loop bounds may
+/// reference enclosing loop variables (interval-evaluated); every free
+/// variable must be loop- or let-bound. Zero-trip loops contribute
+/// nothing.
+AccessAnalysis analyzeAccesses(const ir::StmtPtr &S);
+
+/// Convenience wrapper returning only the regions.
+std::map<std::string, BufferRegion>
+computeAccessedRegions(const ir::StmtPtr &S);
+
+/// Checks \p S against buffer shapes: every accessed index must lie in
+/// [0, extent). Returns an empty string on success, else a diagnostic
+/// naming the first offending buffer and dimension. Violations found
+/// under an inexact analysis are suppressed (they may be artifacts of
+/// over-approximation); missing buffers and rank mismatches are always
+/// reported.
+std::string
+validateAccesses(const ir::StmtPtr &S,
+                 const std::map<std::string, BufferRef> &Buffers);
+
+} // namespace ltp
+
+#endif // LTP_LANG_BOUNDS_H

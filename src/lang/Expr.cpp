@@ -1,0 +1,115 @@
+//===- Expr.cpp - front-end expression algebra ----------------------------===//
+
+#include "lang/Expr.h"
+
+#include <cassert>
+
+using namespace ltp;
+using ir::BinOp;
+
+namespace {
+
+/// Rank used to pick the wider of two types for implicit conversion.
+int conversionRank(ir::Type T) {
+  switch (T.kind()) {
+  case ir::TypeKind::Bool:
+    return 0;
+  case ir::TypeKind::UInt8:
+    return 1;
+  case ir::TypeKind::Int32:
+    return 2;
+  case ir::TypeKind::UInt32:
+    return 3;
+  case ir::TypeKind::Int64:
+    return 4;
+  case ir::TypeKind::Float32:
+    return 5;
+  case ir::TypeKind::Float64:
+    return 6;
+  }
+  assert(false && "unknown type kind");
+  return 0;
+}
+
+Expr makeBinary(BinOp Op, Expr A, Expr B) {
+  assert(A.defined() && B.defined() && "binary operands must be defined");
+  lang_detail::reconcileTypes(A, B);
+  return Expr(ir::Binary::make(Op, A.node(), B.node()));
+}
+
+} // namespace
+
+void lang_detail::reconcileTypes(Expr &A, Expr &B) {
+  if (A.type() == B.type())
+    return;
+  // Constants adapt to the other operand's type so that `C(j, i) + 1`
+  // behaves as written for any element type.
+  auto IsConst = [](const Expr &E) {
+    return E.node()->kind() == ir::ExprKind::IntImm ||
+           E.node()->kind() == ir::ExprKind::FloatImm;
+  };
+  if (IsConst(A) && !IsConst(B)) {
+    A = Expr(ir::Cast::make(B.type(), A.node()));
+    return;
+  }
+  if (IsConst(B) && !IsConst(A)) {
+    B = Expr(ir::Cast::make(A.type(), B.node()));
+    return;
+  }
+  // Otherwise widen the lower-ranked operand.
+  if (conversionRank(A.type()) < conversionRank(B.type()))
+    A = Expr(ir::Cast::make(B.type(), A.node()));
+  else
+    B = Expr(ir::Cast::make(A.type(), B.node()));
+}
+
+Expr ltp::operator+(Expr A, Expr B) { return makeBinary(BinOp::Add, A, B); }
+Expr ltp::operator-(Expr A, Expr B) { return makeBinary(BinOp::Sub, A, B); }
+Expr ltp::operator*(Expr A, Expr B) { return makeBinary(BinOp::Mul, A, B); }
+Expr ltp::operator/(Expr A, Expr B) { return makeBinary(BinOp::Div, A, B); }
+Expr ltp::operator%(Expr A, Expr B) { return makeBinary(BinOp::Mod, A, B); }
+
+Expr ltp::operator-(Expr A) {
+  assert(A.defined() && "negation operand must be defined");
+  if (A.type().isFloat())
+    return Expr(ir::FloatImm::make(0.0, A.type())) - A;
+  return Expr(ir::IntImm::make(0, A.type())) - A;
+}
+
+Expr ltp::operator&(Expr A, Expr B) {
+  return makeBinary(BinOp::BitAnd, A, B);
+}
+Expr ltp::operator|(Expr A, Expr B) { return makeBinary(BinOp::BitOr, A, B); }
+Expr ltp::operator^(Expr A, Expr B) {
+  return makeBinary(BinOp::BitXor, A, B);
+}
+
+Expr ltp::operator<(Expr A, Expr B) { return makeBinary(BinOp::LT, A, B); }
+Expr ltp::operator<=(Expr A, Expr B) { return makeBinary(BinOp::LE, A, B); }
+Expr ltp::operator>(Expr A, Expr B) { return makeBinary(BinOp::GT, A, B); }
+Expr ltp::operator>=(Expr A, Expr B) { return makeBinary(BinOp::GE, A, B); }
+Expr ltp::operator==(Expr A, Expr B) { return makeBinary(BinOp::EQ, A, B); }
+Expr ltp::operator!=(Expr A, Expr B) { return makeBinary(BinOp::NE, A, B); }
+
+Expr ltp::operator&&(Expr A, Expr B) { return makeBinary(BinOp::And, A, B); }
+Expr ltp::operator||(Expr A, Expr B) { return makeBinary(BinOp::Or, A, B); }
+
+Expr ltp::min(Expr A, Expr B) { return makeBinary(BinOp::Min, A, B); }
+Expr ltp::max(Expr A, Expr B) { return makeBinary(BinOp::Max, A, B); }
+
+Expr ltp::select(Expr Cond, Expr TrueValue, Expr FalseValue) {
+  assert(Cond.defined() && TrueValue.defined() && FalseValue.defined() &&
+         "select operands must be defined");
+  lang_detail::reconcileTypes(TrueValue, FalseValue);
+  return Expr(
+      ir::Select::make(Cond.node(), TrueValue.node(), FalseValue.node()));
+}
+
+Expr ltp::cast(ir::Type T, Expr Value) {
+  assert(Value.defined() && "cast operand must be defined");
+  return Expr(ir::Cast::make(T, Value.node()));
+}
+
+Expr ltp::clamp(Expr Value, Expr Lo, Expr Hi) {
+  return max(min(Value, Hi), Lo);
+}

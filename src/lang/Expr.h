@@ -1,0 +1,98 @@
+//===- Expr.h - front-end expression algebra --------------------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing expression type of the DSL. It wraps an immutable IR
+/// expression and provides the operator overloads used to write algorithm
+/// definitions such as `C(j, i) += A(k, i) * B(j, k)`. Mixed-type operands
+/// are reconciled with C-style implicit conversions (constants adapt to the
+/// other operand's type; otherwise the narrower integer widens, and
+/// integers convert to floating point).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_LANG_EXPR_H
+#define LTP_LANG_EXPR_H
+
+#include "ir/Expr.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ltp {
+
+/// Front-end expression handle.
+class Expr {
+public:
+  /// Null expression; used to mean "undefined" in optional slots.
+  Expr() = default;
+
+  /// Wraps an existing IR node.
+  Expr(ir::ExprPtr Node) : Node(std::move(Node)) {}
+
+  /// Literal constructors (int32 / int64 / float32 / float64).
+  Expr(int Value) : Node(ir::IntImm::make(Value, ir::Type::int32())) {}
+  Expr(int64_t Value) : Node(ir::IntImm::make(Value, ir::Type::int64())) {}
+  Expr(unsigned Value)
+      : Node(ir::IntImm::make(Value, ir::Type::uint32())) {}
+  Expr(float Value) : Node(ir::FloatImm::make(Value, ir::Type::float32())) {}
+  Expr(double Value)
+      : Node(ir::FloatImm::make(Value, ir::Type::float64())) {}
+
+  bool defined() const { return Node != nullptr; }
+  ir::Type type() const { return Node->type(); }
+  const ir::ExprPtr &node() const { return Node; }
+
+private:
+  ir::ExprPtr Node;
+};
+
+/// Arithmetic operators; both operands are reconciled to a common type.
+Expr operator+(Expr A, Expr B);
+Expr operator-(Expr A, Expr B);
+Expr operator*(Expr A, Expr B);
+Expr operator/(Expr A, Expr B);
+Expr operator%(Expr A, Expr B);
+Expr operator-(Expr A);
+
+/// Bitwise operators (integer operands only).
+Expr operator&(Expr A, Expr B);
+Expr operator|(Expr A, Expr B);
+Expr operator^(Expr A, Expr B);
+
+/// Comparisons; result type is boolean.
+Expr operator<(Expr A, Expr B);
+Expr operator<=(Expr A, Expr B);
+Expr operator>(Expr A, Expr B);
+Expr operator>=(Expr A, Expr B);
+Expr operator==(Expr A, Expr B);
+Expr operator!=(Expr A, Expr B);
+
+/// Logical operators (boolean operands).
+Expr operator&&(Expr A, Expr B);
+Expr operator||(Expr A, Expr B);
+
+/// Elementwise minimum / maximum.
+Expr min(Expr A, Expr B);
+Expr max(Expr A, Expr B);
+
+/// `Cond ? TrueValue : FalseValue` with lazy scalar semantics.
+Expr select(Expr Cond, Expr TrueValue, Expr FalseValue);
+
+/// Value-preserving conversion to \p T.
+Expr cast(ir::Type T, Expr Value);
+
+/// max(min(Value, Hi), Lo).
+Expr clamp(Expr Value, Expr Lo, Expr Hi);
+
+namespace lang_detail {
+/// Applies the implicit conversion rules to make A and B the same type.
+void reconcileTypes(Expr &A, Expr &B);
+} // namespace lang_detail
+
+} // namespace ltp
+
+#endif // LTP_LANG_EXPR_H

@@ -1,0 +1,304 @@
+//===- Lower.cpp - lowering Funcs to loop-nest IR -------------------------===//
+
+#include "lang/Lower.h"
+
+#include "ir/IRMutator.h"
+#include "ir/IRVisitor.h"
+#include "ir/Simplify.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace ltp;
+using namespace ltp::ir;
+
+namespace {
+
+/// One loop of the in-progress nest. The dims list is kept innermost
+/// first; position 0 is the innermost loop.
+struct LoopDim {
+  std::string Name;
+  ExprPtr Min;
+  ExprPtr Extent;
+  ForKind Kind = ForKind::Serial;
+  bool IsRVar = false;
+};
+
+/// Mutable lowering state for one stage.
+struct StageNest {
+  std::vector<LoopDim> Dims; // innermost first
+  std::vector<ExprPtr> StoreIndices;
+  ExprPtr Value;
+  std::vector<ExprPtr> Predicates;
+
+  /// Applies a variable substitution everywhere loop variables can occur:
+  /// store indices, the value, predicates, and other dims' bounds (which
+  /// may reference enclosing loop variables, e.g. triangular domains).
+  void substituteEverywhere(const std::map<std::string, ExprPtr> &Map) {
+    for (ExprPtr &Index : StoreIndices)
+      Index = substitute(Index, Map);
+    Value = substitute(Value, Map);
+    for (ExprPtr &Pred : Predicates)
+      Pred = substitute(Pred, Map);
+    for (LoopDim &Dim : Dims) {
+      Dim.Min = substitute(Dim.Min, Map);
+      Dim.Extent = substitute(Dim.Extent, Map);
+    }
+  }
+
+  size_t findDim(const std::string &Name) const {
+    for (size_t I = 0; I != Dims.size(); ++I)
+      if (Dims[I].Name == Name)
+        return I;
+    assert(false && "scheduling directive references an unknown loop");
+    return Dims.size();
+  }
+};
+
+/// Ceiling division as an IR expression, folding constants.
+ExprPtr ceilDiv(const ExprPtr &E, int64_t Factor) {
+  assert(Factor > 0 && "factor must be positive");
+  if (auto C = asConstInt(E))
+    return IntImm::make((*C + Factor - 1) / Factor, E->type());
+  ExprPtr FMinus1 = IntImm::make(Factor - 1, E->type());
+  ExprPtr F = IntImm::make(Factor, E->type());
+  return Binary::make(BinOp::Div, Binary::make(BinOp::Add, E, FMinus1), F);
+}
+
+void applySplit(StageNest &Nest, const SplitDirective &S) {
+  size_t Pos = Nest.findDim(S.Old);
+  LoopDim Old = Nest.Dims[Pos];
+
+  LoopDim Inner;
+  Inner.Name = S.Inner;
+  Inner.Min = IntImm::make(0);
+  Inner.IsRVar = Old.IsRVar;
+
+  LoopDim Outer;
+  Outer.Name = S.Outer;
+  Outer.Min = IntImm::make(0);
+  Outer.Extent = ceilDiv(Old.Extent, S.Factor);
+  Outer.IsRVar = Old.IsRVar;
+
+  ExprPtr Factor = IntImm::make(S.Factor);
+  auto ConstExtent = asConstInt(Old.Extent);
+  if (ConstExtent && *ConstExtent % S.Factor == 0) {
+    // The factor divides the bound: no tail guard needed.
+    Inner.Extent = Factor;
+  } else {
+    // Guard the tail: inner extent = min(factor, old_extent - outer*f).
+    ExprPtr OuterTimesF = Binary::make(
+        BinOp::Mul, VarRef::make(S.Outer), Factor);
+    Inner.Extent = Binary::make(
+        BinOp::Min, Factor,
+        Binary::make(BinOp::Sub, Old.Extent, OuterTimesF));
+  }
+
+  // old = old_min + outer*factor + inner.
+  ExprPtr OldValue = Binary::make(
+      BinOp::Add,
+      Binary::make(BinOp::Mul, VarRef::make(S.Outer), Factor),
+      VarRef::make(S.Inner));
+  if (!isConstInt(Old.Min, 0))
+    OldValue = Binary::make(BinOp::Add, Old.Min, OldValue);
+
+  // Replace the old dim by inner (same position) and outer (just outside).
+  Nest.Dims[Pos] = Inner;
+  Nest.Dims.insert(Nest.Dims.begin() + Pos + 1, Outer);
+
+  std::map<std::string, ExprPtr> Map;
+  Map[S.Old] = OldValue;
+  Nest.substituteEverywhere(Map);
+}
+
+void applyFuse(StageNest &Nest, const FuseDirective &F) {
+  size_t PosOuter = Nest.findDim(F.Outer);
+  size_t PosInner = Nest.findDim(F.Inner);
+  assert(PosOuter == PosInner + 1 &&
+         "fuse requires adjacent loops with the first argument outermost");
+  LoopDim OuterDim = Nest.Dims[PosOuter];
+  LoopDim InnerDim = Nest.Dims[PosInner];
+
+  auto OuterExtent = asConstInt(OuterDim.Extent);
+  auto InnerExtent = asConstInt(InnerDim.Extent);
+  assert(OuterExtent && InnerExtent &&
+         "fuse requires constant loop extents");
+
+  LoopDim Fused;
+  Fused.Name = F.Fused;
+  Fused.Min = IntImm::make(0);
+  Fused.Extent = IntImm::make(*OuterExtent * *InnerExtent);
+  Fused.IsRVar = OuterDim.IsRVar || InnerDim.IsRVar;
+
+  ExprPtr FusedVar = VarRef::make(F.Fused);
+  ExprPtr InnerE = IntImm::make(*InnerExtent);
+  ExprPtr OuterValue = Binary::make(BinOp::Div, FusedVar, InnerE);
+  ExprPtr InnerValue = Binary::make(BinOp::Mod, FusedVar, InnerE);
+  if (!isConstInt(OuterDim.Min, 0))
+    OuterValue = Binary::make(BinOp::Add, OuterDim.Min, OuterValue);
+  if (!isConstInt(InnerDim.Min, 0))
+    InnerValue = Binary::make(BinOp::Add, InnerDim.Min, InnerValue);
+
+  Nest.Dims.erase(Nest.Dims.begin() + PosOuter);
+  Nest.Dims[PosInner] = Fused;
+
+  std::map<std::string, ExprPtr> Map;
+  Map[F.Outer] = OuterValue;
+  Map[F.Inner] = InnerValue;
+  Nest.substituteEverywhere(Map);
+}
+
+void applyReorder(StageNest &Nest, const ReorderDirective &R) {
+  // Collect current positions of the mentioned loops, then redistribute
+  // the loops across those positions in the requested order (innermost
+  // first => ascending positions).
+  std::vector<size_t> Positions;
+  Positions.reserve(R.InnermostFirst.size());
+  for (const std::string &Name : R.InnermostFirst)
+    Positions.push_back(Nest.findDim(Name));
+  std::vector<size_t> Sorted = Positions;
+  std::sort(Sorted.begin(), Sorted.end());
+  assert(std::adjacent_find(Sorted.begin(), Sorted.end()) == Sorted.end() &&
+         "reorder mentions a loop twice");
+
+  std::vector<LoopDim> Reordered = Nest.Dims;
+  for (size_t I = 0; I != Positions.size(); ++I)
+    Reordered[Sorted[I]] = Nest.Dims[Positions[I]];
+  Nest.Dims = std::move(Reordered);
+}
+
+void applyMark(StageNest &Nest, const MarkDirective &M) {
+  size_t Pos = Nest.findDim(M.Name);
+  switch (M.Mark) {
+  case MarkDirective::Kind::Parallel:
+    assert(!Nest.Dims[Pos].IsRVar &&
+           "cannot parallelize a reduction loop (output data race)");
+    Nest.Dims[Pos].Kind = ForKind::Parallel;
+    return;
+  case MarkDirective::Kind::Vectorize:
+    Nest.Dims[Pos].Kind = ForKind::Vectorized;
+    return;
+  case MarkDirective::Kind::Unroll:
+    Nest.Dims[Pos].Kind = ForKind::Unrolled;
+    return;
+  }
+  assert(false && "unknown mark kind");
+}
+
+/// Collects free variable names of an expression.
+class FreeVars : public IRVisitor {
+public:
+  std::set<std::string> Names;
+
+protected:
+  void visit(const VarRef *Node) override { Names.insert(Node->Name); }
+};
+
+std::set<std::string> freeVars(const ExprPtr &E) {
+  FreeVars V;
+  V.visitExpr(E);
+  return V.Names;
+}
+
+} // namespace
+
+StmtPtr ltp::lowerStage(const Func &F, int StageIndex,
+                        const std::vector<int64_t> &OutputExtents) {
+  assert(F.defined() && "cannot lower an undefined Func");
+  assert(OutputExtents.size() == F.args().size() &&
+         "output extents must match the Func's dimensionality");
+  const Definition &Def = StageIndex < 0 ? F.pureDefinition()
+                                         : F.updateDefinition(StageIndex);
+
+  StageNest Nest;
+  for (const Expr &Index : Def.Indices) {
+    assert(Index.defined() && "undefined store index");
+    Nest.StoreIndices.push_back(Index.node());
+  }
+  Nest.Value = Def.Value.node();
+  for (const Expr &Pred : Def.Predicates)
+    Nest.Predicates.push_back(Pred.node());
+
+  // Pure loops: one per output dimension whose store index is a bare
+  // variable, bounded by the realized extent; innermost first.
+  std::set<std::string> PureLoopVars;
+  for (size_t D = 0; D != Nest.StoreIndices.size(); ++D) {
+    const VarRef *V = exprDynAs<VarRef>(Nest.StoreIndices[D]);
+    if (!V || PureLoopVars.count(V->Name))
+      continue;
+    PureLoopVars.insert(V->Name);
+    LoopDim Dim;
+    Dim.Name = V->Name;
+    Dim.Min = IntImm::make(0);
+    Dim.Extent = IntImm::make(OutputExtents[D]);
+    Nest.Dims.push_back(Dim);
+  }
+  assert(PureLoopVars.size() == Nest.StoreIndices.size() &&
+         "every store index must be a distinct pure variable");
+
+  // Reduction loops outside the pure loops; RDom dimension 0 innermost
+  // among them.
+  for (const ReductionVarInfo &R : Def.RVars) {
+    LoopDim Dim;
+    Dim.Name = R.Name;
+    Dim.Min = R.Min.node();
+    Dim.Extent = R.Extent.node();
+    Dim.IsRVar = true;
+    Nest.Dims.push_back(Dim);
+  }
+
+  // Apply the schedule, one directive at a time, in declaration order.
+  for (const ScheduleDirective &Directive : Def.Schedule.Directives) {
+    if (const auto *S = std::get_if<SplitDirective>(&Directive))
+      applySplit(Nest, *S);
+    else if (const auto *Fu = std::get_if<FuseDirective>(&Directive))
+      applyFuse(Nest, *Fu);
+    else if (const auto *R = std::get_if<ReorderDirective>(&Directive))
+      applyReorder(Nest, *R);
+    else if (const auto *M = std::get_if<MarkDirective>(&Directive))
+      applyMark(Nest, *M);
+    else
+      assert(false && "unknown schedule directive");
+  }
+
+  // Build the body: predicate-guarded store.
+  StmtPtr Body = Store::make(F.name(), Nest.StoreIndices, Nest.Value,
+                             F.isStoreNonTemporal());
+  for (const ExprPtr &Pred : Nest.Predicates)
+    Body = IfThenElse::make(Pred, Body);
+
+  // Wrap loops innermost-first, validating that loop bounds only reference
+  // loops they are nested inside of.
+  for (size_t D = 0; D != Nest.Dims.size(); ++D) {
+    const LoopDim &Dim = Nest.Dims[D];
+    std::set<std::string> BoundVars = freeVars(Dim.Min);
+    std::set<std::string> ExtentVars = freeVars(Dim.Extent);
+    BoundVars.insert(ExtentVars.begin(), ExtentVars.end());
+    for (const std::string &Name : BoundVars) {
+      bool BoundOutside = false;
+      for (size_t Outer = D + 1; Outer != Nest.Dims.size(); ++Outer)
+        if (Nest.Dims[Outer].Name == Name)
+          BoundOutside = true;
+      assert(BoundOutside &&
+             "loop bound references a variable that is not nested outside; "
+             "fix the schedule's loop order");
+      (void)BoundOutside;
+    }
+    Body = For::make(Dim.Name, Dim.Min, Dim.Extent, Dim.Kind, Body);
+  }
+
+  return simplify(Body);
+}
+
+StmtPtr ltp::lowerFunc(const Func &F,
+                       const std::vector<int64_t> &OutputExtents) {
+  std::vector<StmtPtr> Stages;
+  Stages.push_back(lowerStage(F, -1, OutputExtents));
+  for (int U = 0; U != F.numUpdates(); ++U)
+    Stages.push_back(lowerStage(F, U, OutputExtents));
+  if (Stages.size() == 1)
+    return Stages[0];
+  return Block::make(std::move(Stages));
+}

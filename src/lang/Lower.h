@@ -1,0 +1,43 @@
+//===- Lower.h - lowering Funcs to loop-nest IR -----------------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a scheduled Func stage to statement IR: builds the default loop
+/// nest (pure variables innermost-first in argument order, reduction
+/// variables outside them), then applies the stage's scheduling directives
+/// in declaration order exactly as Halide does — each split/fuse/reorder
+/// mutates the current loop list — and finally emits the nested For
+/// statements around the store.
+///
+/// Split tails are guarded with `min(factor, extent - outer*factor)` inner
+/// extents; when the factor divides a constant extent the guard folds away.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_LANG_LOWER_H
+#define LTP_LANG_LOWER_H
+
+#include "ir/Stmt.h"
+#include "lang/Func.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ltp {
+
+/// Lowers one stage of \p F. \p StageIndex is -1 for the pure stage or an
+/// update index. \p OutputExtents gives the realized extent of each pure
+/// dimension (dimension 0 first).
+ir::StmtPtr lowerStage(const Func &F, int StageIndex,
+                       const std::vector<int64_t> &OutputExtents);
+
+/// Lowers every stage of \p F (pure, then updates in order) into a block.
+ir::StmtPtr lowerFunc(const Func &F,
+                      const std::vector<int64_t> &OutputExtents);
+
+} // namespace ltp
+
+#endif // LTP_LANG_LOWER_H

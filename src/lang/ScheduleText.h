@@ -1,0 +1,53 @@
+//===- ScheduleText.h - schedule (de)serialization --------------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a stage's schedule to a Halide-like textual form and parses
+/// it back, so schedules can be stored next to experiments, diffed, and
+/// replayed without re-running the optimizer:
+///
+///   split(j, j_t, j_i, 512); split(i, i_t, i_i, 32);
+///   reorder(j_i, k, i_i, k_t, i_t); parallel(i_t); vectorize(j_i);
+///   store_nontemporal;
+///
+/// The grammar is `directive(arg, ...)` separated by `;`, with
+/// `store_nontemporal` as a bare word. Whitespace is insignificant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_LANG_SCHEDULETEXT_H
+#define LTP_LANG_SCHEDULETEXT_H
+
+#include "lang/Func.h"
+#include "support/ErrorOr.h"
+
+#include <string>
+
+namespace ltp {
+
+/// Renders the schedule of stage \p StageIndex (-1 = pure) of \p F,
+/// including a trailing `store_nontemporal;` when the Func is marked.
+std::string printSchedule(const Func &F, int StageIndex);
+
+/// Parses \p Text and applies the directives to stage \p StageIndex of
+/// \p F (on top of any existing directives; callers usually
+/// clearSchedules() first). Returns an error message with the offending
+/// token on malformed input; on error the stage may be partially
+/// scheduled.
+ErrorOr<bool> applyScheduleText(Func &F, int StageIndex,
+                                const std::string &Text);
+
+/// Checks the stage's accumulated directives against the loop-name
+/// universe (the stage's variables plus names introduced by its own
+/// splits/fuses): every referenced name must exist at the point its
+/// directive applies. Returns an empty string when valid, else a
+/// diagnostic. Use this to reject untrusted schedule text with a
+/// recoverable error instead of hitting lowering's assertions.
+std::string validateScheduleNames(const Func &F, int StageIndex);
+
+} // namespace ltp
+
+#endif // LTP_LANG_SCHEDULETEXT_H

@@ -1,0 +1,42 @@
+//===- Var.h - pure loop variables ------------------------------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named pure (data-parallel) loop variables. A `Var` carries only its
+/// name; its bounds come from the output region at lowering time. Vars
+/// convert implicitly to `Expr` so they compose in index arithmetic such
+/// as `in(x + rx, y)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_LANG_VAR_H
+#define LTP_LANG_VAR_H
+
+#include "lang/Expr.h"
+
+#include <string>
+
+namespace ltp {
+
+/// A named pure loop variable.
+class Var {
+public:
+  explicit Var(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Implicit conversion for use inside index expressions.
+  operator Expr() const {
+    return Expr(ir::VarRef::make(Name, ir::Type::int32()));
+  }
+
+private:
+  std::string Name;
+};
+
+} // namespace ltp
+
+#endif // LTP_LANG_VAR_H

@@ -1,0 +1,54 @@
+//===- NonTemporal.cpp - streaming (non-temporal) store helpers ----------===//
+
+#include "runtime/NonTemporal.h"
+
+#include <cassert>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define LTP_HAVE_NT_STORES 1
+#else
+#define LTP_HAVE_NT_STORES 0
+#endif
+
+using namespace ltp;
+
+bool ltp::nonTemporalStoresAvailable() { return LTP_HAVE_NT_STORES != 0; }
+
+void ltp::streamStoreFloats(float *Dst, const float *Src, size_t Count) {
+#if LTP_HAVE_NT_STORES
+  assert((reinterpret_cast<uintptr_t>(Dst) & 15u) == 0 &&
+         "streaming store destination must be 16-byte aligned");
+  size_t I = 0;
+  for (; I + 4 <= Count; I += 4)
+    _mm_stream_ps(Dst + I, _mm_loadu_ps(Src + I));
+  for (; I != Count; ++I)
+    Dst[I] = Src[I];
+#else
+  for (size_t I = 0; I != Count; ++I)
+    Dst[I] = Src[I];
+#endif
+}
+
+void ltp::streamStoreU32(uint32_t *Dst, const uint32_t *Src, size_t Count) {
+#if LTP_HAVE_NT_STORES
+  assert((reinterpret_cast<uintptr_t>(Dst) & 15u) == 0 &&
+         "streaming store destination must be 16-byte aligned");
+  size_t I = 0;
+  for (; I + 4 <= Count; I += 4) {
+    __m128i V = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Src + I));
+    _mm_stream_si128(reinterpret_cast<__m128i *>(Dst + I), V);
+  }
+  for (; I != Count; ++I)
+    Dst[I] = Src[I];
+#else
+  for (size_t I = 0; I != Count; ++I)
+    Dst[I] = Src[I];
+#endif
+}
+
+void ltp::streamFence() {
+#if LTP_HAVE_NT_STORES
+  _mm_sfence();
+#endif
+}

@@ -1,0 +1,44 @@
+//===- NonTemporal.h - streaming (non-temporal) store helpers ---*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-bypassing store helpers backing the `store_nontemporal` scheduling
+/// directive the paper adds to the compiler front-end (Section 4). On x86
+/// with SSE2/AVX these compile to (v)movntps / (v)movntdq; elsewhere they
+/// fall back to regular stores, which mirrors the paper's observation that
+/// the ARM target lacks vector non-temporal stores.
+///
+/// The JIT's generated C code contains the same intrinsic sequences
+/// directly; these helpers exist so host-side code (runtime tests, the
+/// interpreter's NTI accounting, manual kernels) shares one implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_RUNTIME_NONTEMPORAL_H
+#define LTP_RUNTIME_NONTEMPORAL_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ltp {
+
+/// True when the build target supports real non-temporal vector stores.
+bool nonTemporalStoresAvailable();
+
+/// Streams \p Count floats from \p Src to 16-byte aligned \p Dst, bypassing
+/// the cache where supported; tail elements use regular stores.
+void streamStoreFloats(float *Dst, const float *Src, size_t Count);
+
+/// Streams \p Count uint32 values (movntdq lanes where supported).
+void streamStoreU32(uint32_t *Dst, const uint32_t *Src, size_t Count);
+
+/// Store fence ordering non-temporal stores before subsequent loads; no-op
+/// when streaming stores are unavailable.
+void streamFence();
+
+} // namespace ltp
+
+#endif // LTP_RUNTIME_NONTEMPORAL_H

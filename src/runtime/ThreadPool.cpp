@@ -1,0 +1,122 @@
+//===- ThreadPool.cpp - persistent worker pool for parallel loops --------===//
+
+#include "runtime/ThreadPool.h"
+
+#include <atomic>
+#include <cassert>
+
+using namespace ltp;
+
+namespace {
+/// Set while any pool job is in flight; nested or concurrent parallelFor
+/// calls degrade to serial execution instead of deadlocking. The schedules
+/// this project generates have exactly one parallel loop per nest, so the
+/// serial fallback only triggers in adversarial tests.
+std::atomic<bool> JobActive{false};
+} // namespace
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  unsigned HW = std::thread::hardware_concurrency();
+  if (NumThreads == 0)
+    NumThreads = HW > 0 ? HW : 1;
+  // One share of the work runs on the calling thread, so spawn one fewer
+  // worker than the requested width.
+  for (unsigned I = 1; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool Pool;
+  return Pool;
+}
+
+void ThreadPool::parallelFor(int64_t Min, int64_t Extent,
+                             const std::function<void(int64_t)> &Body) {
+  if (Extent <= 0)
+    return;
+  bool Expected = false;
+  if (Workers.empty() || Extent == 1 ||
+      !JobActive.compare_exchange_strong(Expected, true)) {
+    // No workers, trivial range, or a job already in flight: run inline.
+    for (int64_t I = 0; I != Extent; ++I)
+      Body(Min + I);
+    return;
+  }
+
+  Job TheJob;
+  TheJob.Min = Min;
+  TheJob.Extent = Extent;
+  TheJob.Body = &Body;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Current = &TheJob;
+    ++Generation;
+  }
+  WorkAvailable.notify_all();
+
+  // The calling thread claims iterations alongside the workers.
+  for (;;) {
+    int64_t I = TheJob.Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= Extent)
+      break;
+    Body(Min + I);
+    TheJob.Done.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    // Wait for completion AND for every worker to release its pointer to
+    // the stack-allocated job; otherwise a late-waking worker could touch
+    // freed stack memory after this function returns.
+    WorkDone.wait(Lock, [&] {
+      return TheJob.Done.load(std::memory_order_acquire) == Extent &&
+             TheJob.ActiveWorkers.load(std::memory_order_acquire) == 0;
+    });
+    Current = nullptr;
+  }
+  JobActive.store(false, std::memory_order_release);
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t LastGeneration = 0;
+  for (;;) {
+    Job *TheJob = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock, [&] {
+        return ShuttingDown ||
+               (Current != nullptr && Generation != LastGeneration);
+      });
+      if (ShuttingDown)
+        return;
+      LastGeneration = Generation;
+      TheJob = Current;
+      TheJob->ActiveWorkers.fetch_add(1, std::memory_order_acq_rel);
+    }
+    for (;;) {
+      int64_t I = TheJob->Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= TheJob->Extent)
+        break;
+      (*TheJob->Body)(TheJob->Min + I);
+      TheJob->Done.fetch_add(1, std::memory_order_acq_rel);
+    }
+    {
+      // Release the job pointer under the mutex and wake the owner; this
+      // also covers the completion wakeup (the owner's predicate checks
+      // Done and ActiveWorkers together).
+      std::lock_guard<std::mutex> Lock(Mutex);
+      TheJob->ActiveWorkers.fetch_sub(1, std::memory_order_acq_rel);
+      WorkDone.notify_all();
+    }
+  }
+}

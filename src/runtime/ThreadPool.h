@@ -1,0 +1,80 @@
+//===- ThreadPool.h - persistent worker pool for parallel loops -*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent thread pool backing the `parallel` scheduling directive.
+/// Generated (JIT) code reaches it through the C-ABI trampoline declared in
+/// JITRuntime.h; interpreter-executed parallel loops call `parallelFor`
+/// directly. Eq. 13 of the paper (at least one inter-tile iteration per
+/// thread) is a property of the schedules, not of this pool, but the pool
+/// reports its size so the optimizer can honour the constraint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_RUNTIME_THREADPOOL_H
+#define LTP_RUNTIME_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ltp {
+
+/// Fixed-size worker pool executing [min, min+extent) index ranges.
+class ThreadPool {
+public:
+  /// Creates a pool with \p NumThreads workers; 0 means one per hardware
+  /// thread.
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads (including the calling thread's share).
+  unsigned size() const { return static_cast<unsigned>(Workers.size() + 1); }
+
+  /// Runs \p Body(I) for every I in [Min, Min+Extent), distributing
+  /// iterations over the pool. Blocks until all iterations finish.
+  /// Iterations are claimed atomically one at a time, which is the right
+  /// granularity for inter-tile loops (each iteration is a whole tile).
+  void parallelFor(int64_t Min, int64_t Extent,
+                   const std::function<void(int64_t)> &Body);
+
+  /// Process-wide pool, sized to the hardware.
+  static ThreadPool &global();
+
+private:
+  void workerLoop();
+
+  struct Job {
+    int64_t Min = 0;
+    int64_t Extent = 0;
+    std::atomic<int64_t> Next{0};
+    std::atomic<int64_t> Done{0};
+    /// Workers currently holding a pointer to this job; the owner must
+    /// not destroy the job until this drops to zero (a worker can wake,
+    /// take the pointer, and only then discover all iterations are
+    /// claimed).
+    std::atomic<int> ActiveWorkers{0};
+    const std::function<void(int64_t)> *Body = nullptr;
+  };
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable WorkDone;
+  Job *Current = nullptr;
+  uint64_t Generation = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace ltp
+
+#endif // LTP_RUNTIME_THREADPOOL_H

@@ -1,0 +1,55 @@
+//===- ArgParse.cpp - tiny command-line flag parser -----------------------===//
+
+#include "support/ArgParse.h"
+
+#include <cstdlib>
+
+using namespace ltp;
+
+ArgParse::ArgParse(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    size_t Eq = Body.find('=');
+    if (Eq != std::string::npos) {
+      Flags[Body.substr(0, Eq)] = Body.substr(Eq + 1);
+      continue;
+    }
+    // `--key value` form: consume the next token as the value when it does
+    // not itself look like a flag.
+    if (I + 1 < Argc && std::string(Argv[I + 1]).rfind("--", 0) != 0) {
+      Flags[Body] = Argv[I + 1];
+      ++I;
+    } else {
+      Flags[Body] = "";
+    }
+  }
+}
+
+bool ArgParse::has(const std::string &Name) const {
+  return Flags.count(Name) != 0;
+}
+
+std::string ArgParse::getString(const std::string &Name,
+                                const std::string &Default) const {
+  auto It = Flags.find(Name);
+  return It == Flags.end() ? Default : It->second;
+}
+
+long ArgParse::getInt(const std::string &Name, long Default) const {
+  auto It = Flags.find(Name);
+  if (It == Flags.end() || It->second.empty())
+    return Default;
+  return std::strtol(It->second.c_str(), nullptr, 10);
+}
+
+double ArgParse::getDouble(const std::string &Name, double Default) const {
+  auto It = Flags.find(Name);
+  if (It == Flags.end() || It->second.empty())
+    return Default;
+  return std::strtod(It->second.c_str(), nullptr);
+}

@@ -1,0 +1,50 @@
+//===- ArgParse.h - tiny command-line flag parser ---------------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal flag parser shared by the benchmark harnesses and examples.
+/// Supports `--flag`, `--key=value` and `--key value` forms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_SUPPORT_ARGPARSE_H
+#define LTP_SUPPORT_ARGPARSE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ltp {
+
+/// Parsed command-line flags with typed accessors and defaults.
+class ArgParse {
+public:
+  ArgParse(int Argc, const char *const *Argv);
+
+  /// True if `--name` was passed (with or without a value).
+  bool has(const std::string &Name) const;
+
+  /// Value of `--name`, or \p Default when absent.
+  std::string getString(const std::string &Name,
+                        const std::string &Default) const;
+
+  /// Integer value of `--name`, or \p Default when absent.
+  long getInt(const std::string &Name, long Default) const;
+
+  /// Floating-point value of `--name`, or \p Default when absent.
+  double getDouble(const std::string &Name, double Default) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+private:
+  std::map<std::string, std::string> Flags;
+  std::vector<std::string> Positional;
+};
+
+} // namespace ltp
+
+#endif // LTP_SUPPORT_ARGPARSE_H

@@ -1,0 +1,70 @@
+//===- ErrorOr.h - lightweight value-or-error wrapper -----------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal Expected-style wrapper used to report recoverable errors (such
+/// as a failed JIT compilation) without exceptions, following the LLVM error
+/// handling philosophy. Programmatic errors use assert instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_SUPPORT_ERROROR_H
+#define LTP_SUPPORT_ERROROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ltp {
+
+/// Holds either a value of type \p T or a human-readable error message.
+///
+/// The error message style follows LLVM conventions: lowercase first word,
+/// no trailing period.
+template <typename T> class ErrorOr {
+public:
+  /// Constructs a success value.
+  ErrorOr(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure value carrying \p Message.
+  static ErrorOr<T> makeError(std::string Message) {
+    ErrorOr<T> E;
+    E.Message = std::move(Message);
+    return E;
+  }
+
+  /// True when a value is present.
+  explicit operator bool() const { return Value.has_value(); }
+
+  /// Returns the contained value; must only be called on success.
+  T &get() {
+    assert(Value && "accessing value of failed ErrorOr");
+    return *Value;
+  }
+  const T &get() const {
+    assert(Value && "accessing value of failed ErrorOr");
+    return *Value;
+  }
+
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// Returns the error message; empty on success.
+  const std::string &getError() const { return Message; }
+
+private:
+  ErrorOr() = default;
+
+  std::optional<T> Value;
+  std::string Message;
+};
+
+} // namespace ltp
+
+#endif // LTP_SUPPORT_ERROROR_H

@@ -1,0 +1,48 @@
+//===- Format.cpp - printf-style string formatting helpers ---------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace ltp;
+
+std::string ltp::strFormat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Out;
+  if (Len > 0) {
+    Out.resize(static_cast<size_t>(Len) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Fmt, ArgsCopy);
+    Out.resize(static_cast<size_t>(Len));
+  }
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string ltp::join(const std::vector<std::string> &Parts,
+                      const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string ltp::padLeft(const std::string &S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string ltp::padRight(const std::string &S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}

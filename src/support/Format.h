@@ -1,0 +1,38 @@
+//===- Format.h - printf-style string formatting helpers -------*- C++ -*-===//
+//
+// Part of the LTP project: loop transformations leveraging hardware
+// prefetching (reproduction of Sioutas et al., CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string-formatting utilities used across the project in place of
+/// iostream-based formatting, which is forbidden in library code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_SUPPORT_FORMAT_H
+#define LTP_SUPPORT_FORMAT_H
+
+#include <string>
+#include <vector>
+
+namespace ltp {
+
+/// Formats \p Fmt with printf semantics into a std::string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Returns \p S left-padded with spaces to at least \p Width characters.
+std::string padLeft(const std::string &S, unsigned Width);
+
+/// Returns \p S right-padded with spaces to at least \p Width characters.
+std::string padRight(const std::string &S, unsigned Width);
+
+} // namespace ltp
+
+#endif // LTP_SUPPORT_FORMAT_H

@@ -1,0 +1,61 @@
+//===- Timer.h - wall-clock timing helpers ----------------------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timer used by the benchmark harness and by the optimizer
+/// runtime measurements (Table 5 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_SUPPORT_TIMER_H
+#define LTP_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace ltp {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time since construction or the last reset, in seconds.
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Runs \p Fn \p Repeats times and returns the minimum elapsed seconds.
+///
+/// The minimum over repeats is the standard noise-robust estimator for
+/// memory-bound kernels on a shared machine.
+template <typename Fn>
+double timeBestOf(unsigned Repeats, Fn &&Callback) {
+  double Best = -1.0;
+  for (unsigned I = 0; I != Repeats; ++I) {
+    Timer T;
+    Callback();
+    double Elapsed = T.elapsedSeconds();
+    if (Best < 0.0 || Elapsed < Best)
+      Best = Elapsed;
+  }
+  return Best;
+}
+
+} // namespace ltp
+
+#endif // LTP_SUPPORT_TIMER_H

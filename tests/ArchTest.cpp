@@ -1,0 +1,117 @@
+//===- ArchTest.cpp - platform parameters and description files ------------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/ArchFile.h"
+#include "arch/ArchParams.h"
+
+#include <gtest/gtest.h>
+
+using namespace ltp;
+
+namespace {
+
+TEST(ArchParamsTest, Table3PresetsMatchPaper) {
+  ArchParams I6700 = intelI7_6700();
+  EXPECT_EQ(I6700.L1.SizeBytes, 32 * 1024);
+  EXPECT_EQ(I6700.L1.Ways, 8);
+  EXPECT_EQ(I6700.L2.SizeBytes, 256 * 1024);
+  EXPECT_EQ(I6700.L2.Ways, 8);
+  EXPECT_EQ(I6700.NCores, 4);
+  EXPECT_EQ(I6700.NThreadsPerCore, 2);
+  EXPECT_EQ(I6700.totalThreads(), 8);
+
+  ArchParams I5930 = intelI7_5930K();
+  EXPECT_EQ(I5930.NCores, 6);
+  EXPECT_EQ(I5930.totalThreads(), 12);
+  EXPECT_EQ(I5930.L1.SizeBytes, I6700.L1.SizeBytes);
+
+  ArchParams A15 = armCortexA15();
+  EXPECT_EQ(A15.L1.Ways, 2);
+  EXPECT_EQ(A15.L2.SizeBytes, 512 * 1024);
+  EXPECT_EQ(A15.L2.Ways, 16);
+  EXPECT_EQ(A15.L3.SizeBytes, 0) << "the A15 has no L3";
+  EXPECT_TRUE(A15.SharedL2);
+  EXPECT_FALSE(A15.HasNonTemporalStores);
+  EXPECT_EQ(A15.NThreadsPerCore, 1);
+}
+
+TEST(ArchParamsTest, SetCounts) {
+  // 32KB / (8 ways * 64B) = 64 sets.
+  EXPECT_EQ(intelI7_6700().L1.numSets(), 64);
+  EXPECT_EQ(intelI7_6700().L2.numSets(), 512);
+}
+
+TEST(ArchParamsTest, HostDetectionProducesSaneValues) {
+  ArchParams Host = detectHost();
+  EXPECT_GT(Host.L1.SizeBytes, 0);
+  EXPECT_GT(Host.L2.SizeBytes, Host.L1.SizeBytes);
+  EXPECT_GT(Host.NCores, 0);
+  EXPECT_GT(Host.L1.Ways, 0);
+  EXPECT_EQ(Host.L1.LineBytes % 32, 0);
+}
+
+TEST(ArchParamsTest, DescribeMentionsKeyFacts) {
+  std::string Text = describe(armCortexA15());
+  EXPECT_NE(Text.find("no L3"), std::string::npos);
+  EXPECT_NE(Text.find("shared"), std::string::npos);
+  EXPECT_NE(Text.find("NT stores no"), std::string::npos);
+}
+
+TEST(ArchFileTest, RoundTripAllPresets) {
+  for (const ArchParams &Arch :
+       {intelI7_6700(), intelI7_5930K(), armCortexA15()}) {
+    auto Parsed = parseArchParams(archParamsToText(Arch));
+    ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.getError();
+    EXPECT_EQ(Parsed->Name, Arch.Name);
+    EXPECT_EQ(Parsed->L1.SizeBytes, Arch.L1.SizeBytes);
+    EXPECT_EQ(Parsed->L2.Ways, Arch.L2.Ways);
+    EXPECT_EQ(Parsed->L3.SizeBytes, Arch.L3.SizeBytes);
+    EXPECT_EQ(Parsed->NCores, Arch.NCores);
+    EXPECT_EQ(Parsed->VectorWidth, Arch.VectorWidth);
+    EXPECT_EQ(Parsed->HasNonTemporalStores, Arch.HasNonTemporalStores);
+    EXPECT_EQ(Parsed->SharedL2, Arch.SharedL2);
+    EXPECT_EQ(Parsed->L2PrefetchDegree, Arch.L2PrefetchDegree);
+    EXPECT_DOUBLE_EQ(Parsed->A3, Arch.A3);
+  }
+}
+
+TEST(ArchFileTest, ParsesSizesAndComments) {
+  auto Parsed = parseArchParams(
+      "# my machine\n"
+      "name = box\n"
+      "l1.size = 48K   # per core\n"
+      "l2.size = 1M\n"
+      "cores = 16\n");
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.getError();
+  EXPECT_EQ(Parsed->L1.SizeBytes, 48 * 1024);
+  EXPECT_EQ(Parsed->L2.SizeBytes, 1024 * 1024);
+  EXPECT_EQ(Parsed->NCores, 16);
+  // Unset keys keep defaults.
+  EXPECT_EQ(Parsed->L1.Ways, 8);
+}
+
+TEST(ArchFileTest, RejectsUnknownKeysAndBadValues) {
+  auto R1 = parseArchParams("l1.sise = 32K\n");
+  EXPECT_FALSE(static_cast<bool>(R1));
+  EXPECT_NE(R1.getError().find("unknown key"), std::string::npos);
+
+  auto R2 = parseArchParams("cores = banana\n");
+  EXPECT_FALSE(static_cast<bool>(R2));
+
+  auto R3 = parseArchParams("l1.size = 0\nl2.size = 0\n");
+  EXPECT_FALSE(static_cast<bool>(R3));
+
+  auto R4 = parseArchParams("just some text\n");
+  EXPECT_FALSE(static_cast<bool>(R4));
+  EXPECT_NE(R4.getError().find("line 1"), std::string::npos);
+}
+
+TEST(ArchFileTest, LoadReportsMissingFile) {
+  auto R = loadArchParams("/nonexistent/arch.conf");
+  EXPECT_FALSE(static_cast<bool>(R));
+}
+
+} // namespace

@@ -1,0 +1,232 @@
+//===- CacheSimTest.cpp - cache level / hierarchy / prefetcher tests -------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+// Covers: set-associative LRU behaviour, the next-line and constant-stride
+// prefetchers, non-temporal store semantics, write-back accounting, and
+// the end-to-end trace runner including the paper's qualitative claims
+// (sequential streams are nearly free; tiling cuts matmul misses; NTI
+// cuts DRAM traffic on copy-like kernels).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/PipelineRunner.h"
+#include "baselines/Baselines.h"
+#include "cachesim/Hierarchy.h"
+#include "core/Optimizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ltp;
+
+namespace {
+
+CacheParams smallCache(int64_t SizeBytes, int64_t Ways) {
+  return CacheParams{SizeBytes, 64, Ways};
+}
+
+TEST(CacheLevelTest, HitAfterFill) {
+  CacheLevel L(smallCache(4096, 4));
+  EXPECT_FALSE(L.access(10));
+  L.fill(10, /*IsPrefetch=*/false);
+  EXPECT_TRUE(L.access(10));
+  EXPECT_EQ(L.stats().DemandHits, 1u);
+  EXPECT_EQ(L.stats().DemandMisses, 1u);
+}
+
+TEST(CacheLevelTest, LRUEvictsLeastRecentlyUsed) {
+  // 4096B / 4 ways / 64B lines = 16 sets; lines 0, 16, 32, 48, 64 all map
+  // to set 0.
+  CacheLevel L(smallCache(4096, 4));
+  for (uint64_t Line : {0, 16, 32, 48})
+    L.fill(Line, false);
+  // Touch 0 so 16 becomes the LRU victim.
+  EXPECT_TRUE(L.access(0));
+  L.fill(64, false);
+  EXPECT_TRUE(L.probe(0));
+  EXPECT_FALSE(L.probe(16));
+  EXPECT_TRUE(L.probe(64));
+  EXPECT_EQ(L.stats().Evictions, 1u);
+}
+
+TEST(CacheLevelTest, PrefetchedLineCountsPrefetchHitOnce) {
+  CacheLevel L(smallCache(4096, 4));
+  L.fill(7, /*IsPrefetch=*/true);
+  EXPECT_EQ(L.stats().PrefetchFills, 1u);
+  EXPECT_TRUE(L.access(7));
+  EXPECT_EQ(L.stats().PrefetchHits, 1u);
+  EXPECT_TRUE(L.access(7));
+  EXPECT_EQ(L.stats().PrefetchHits, 1u) << "credit consumed by first hit";
+}
+
+TEST(CacheLevelTest, DirtyEvictionReported) {
+  CacheLevel L(smallCache(4096, 1)); // direct-mapped, 64 sets
+  L.fill(0, false, /*Dirty=*/true);
+  EXPECT_TRUE(L.fill(64, false)) << "dirty victim must report write-back";
+  EXPECT_FALSE(L.fill(128, false)) << "clean victim: no write-back";
+}
+
+TEST(CacheLevelTest, InvalidateRemovesLine) {
+  CacheLevel L(smallCache(4096, 4));
+  L.fill(3, false);
+  ASSERT_TRUE(L.probe(3));
+  L.invalidate(3);
+  EXPECT_FALSE(L.probe(3));
+}
+
+TEST(HierarchyTest, SequentialStreamIsMostlyPrefetchHits) {
+  // A long unit-stride read: the next-line prefetcher should convert
+  // nearly every line's first touch into an L1 prefetch hit.
+  MemoryHierarchy H(intelI7_6700());
+  constexpr uint64_t Lines = 4096;
+  for (uint64_t I = 0; I != Lines * 16; ++I)
+    H.load(I * 4, 4);
+  HierarchyStats S = H.stats();
+  EXPECT_LT(S.L1.DemandMisses, Lines / 8)
+      << "sequential misses should be rare with a next-line prefetcher";
+  EXPECT_GT(S.L1.PrefetchHits, Lines / 2);
+}
+
+TEST(HierarchyTest, StridedStreamTrainsL2Prefetcher) {
+  MemoryHierarchy H(intelI7_6700());
+  // Stride of 2 lines within 4KB pages, long enough to train.
+  for (uint64_t I = 0; I != 20000; ++I)
+    H.load(I * 128, 4);
+  HierarchyStats S = H.stats();
+  EXPECT_GT(S.PrefetchIssuedL2, 1000u);
+  EXPECT_GT(S.L2.PrefetchHits + S.L1.PrefetchHits, 1000u);
+}
+
+TEST(HierarchyTest, NonTemporalStoreBypassesAndInvalidates) {
+  MemoryHierarchy H(intelI7_6700());
+  H.load(0, 4);
+  ASSERT_GT(H.stats().L1.demandAccesses(), 0u);
+  H.store(0, 4, /*NonTemporal=*/true);
+  HierarchyStats S = H.stats();
+  EXPECT_EQ(S.NonTemporalStores, 1u);
+  // The line was dropped: the next load misses again.
+  uint64_t MissesBefore = S.L1.DemandMisses;
+  H.load(0, 4);
+  EXPECT_EQ(H.stats().L1.DemandMisses, MissesBefore + 1);
+}
+
+TEST(HierarchyTest, NoL3ConfigurationRoutesMissesToMemory) {
+  MemoryHierarchy H(armCortexA15());
+  EXPECT_FALSE(H.hasL3());
+  for (uint64_t I = 0; I != 1000; ++I)
+    H.load(I * 64 * 17, 4); // strided to defeat prefetch
+  HierarchyStats S = H.stats();
+  EXPECT_GT(S.MemoryAccesses, 0u);
+  EXPECT_EQ(S.L3.demandAccesses(), 0u);
+}
+
+TEST(HierarchyTest, WritesProduceWritebackTraffic) {
+  MemoryHierarchy H(intelI7_6700());
+  // Write far more data than the LLC holds; evicted dirty lines must be
+  // written back.
+  int64_t LLCBytes = intelI7_6700().L3.SizeBytes;
+  int64_t Lines = 2 * LLCBytes / 64;
+  for (int64_t I = 0; I != Lines; ++I)
+    H.store(static_cast<uint64_t>(I) * 64, 4, /*NonTemporal=*/false);
+  EXPECT_GT(H.stats().Writebacks, static_cast<uint64_t>(Lines) / 4);
+}
+
+TEST(TraceRunnerTest, TiledMatmulMissesFewerThanBaseline) {
+  const BenchmarkDef *Def = findBenchmark("matmul");
+  // A 1:8-scaled i7-6700 so a 96^3 problem (108KB footprint) exceeds the
+  // simulated L2 the way 2048^3 exceeds the real one; keeps the trace
+  // short enough for a unit test.
+  ArchParams Arch = intelI7_6700();
+  Arch.L1.SizeBytes /= 8;
+  Arch.L2.SizeBytes /= 8;
+  Arch.L3.SizeBytes /= 8;
+
+  BenchmarkInstance Baseline = Def->Create(96);
+  applyBaselineSchedule(Baseline.Stages[0], Baseline.StageExtents[0], Arch);
+  SimResult BaseSim = simulatePipeline(Baseline, Arch);
+
+  BenchmarkInstance Tiled = Def->Create(96);
+  optimize(Tiled.Stages[0], Tiled.StageExtents[0], Arch);
+  SimResult TiledSim = simulatePipeline(Tiled, Arch);
+
+  EXPECT_LT(TiledSim.Stats.L2.DemandMisses, BaseSim.Stats.L2.DemandMisses)
+      << "tiling must reduce L2 misses on a cache-exceeding matmul";
+  // At this scaled size the total cycle estimate is dominated by L1 hits
+  // common to both schedules; the differentiator is the miss profile.
+  EXPECT_LT(TiledSim.Stats.L2.missRate(), BaseSim.Stats.L2.missRate());
+}
+
+TEST(TraceRunnerTest, NTIReducesDramTrafficOnCopy) {
+  const BenchmarkDef *Def = findBenchmark("copy");
+  ArchParams Arch = intelI7_5930K();
+
+  BenchmarkInstance WithNTI = Def->Create(512);
+  OptimizerOptions On;
+  optimize(WithNTI.Stages[0], WithNTI.StageExtents[0], Arch, On);
+  ASSERT_TRUE(WithNTI.Stages[0].isStoreNonTemporal());
+  SimResult NTISim = simulatePipeline(WithNTI, Arch);
+
+  BenchmarkInstance Without = Def->Create(512);
+  OptimizerOptions Off;
+  Off.EnableNonTemporal = false;
+  optimize(Without.Stages[0], Without.StageExtents[0], Arch, Off);
+  SimResult PlainSim = simulatePipeline(Without, Arch);
+
+  // NTI removes the read-for-ownership of the output: the copy touches
+  // ~2N bytes of DRAM instead of ~3N.
+  EXPECT_LT(NTISim.Stats.memoryTraffic(),
+            PlainSim.Stats.memoryTraffic() * 85 / 100);
+}
+
+TEST(TraceRunnerTest, AccessCountMatchesIterationSpace) {
+  const BenchmarkDef *Def = findBenchmark("copy");
+  BenchmarkInstance Instance = Def->Create(64);
+  SimResult Sim = simulatePipeline(Instance, intelI7_6700());
+  // copy: one load + one store per element.
+  EXPECT_EQ(Sim.Accesses, 2u * 64 * 64);
+}
+
+TEST(CacheLevelTest, TreePLRUCoversAllWaysUnderRoundRobin) {
+  // 4-way PLRU: filling 4 distinct lines into one set must use all four
+  // ways (no premature eviction).
+  CacheLevel L(smallCache(4096, 4), ReplacementPolicy::TreePLRU);
+  for (uint64_t Line : {0, 16, 32, 48})
+    L.fill(Line, false);
+  for (uint64_t Line : {0, 16, 32, 48})
+    EXPECT_TRUE(L.probe(Line)) << Line;
+  EXPECT_EQ(L.stats().Evictions, 0u);
+}
+
+TEST(CacheLevelTest, TreePLRUAvoidsRecentlyTouchedWay) {
+  CacheLevel L(smallCache(4096, 4), ReplacementPolicy::TreePLRU);
+  for (uint64_t Line : {0, 16, 32, 48})
+    L.fill(Line, false);
+  // Touch line 0 repeatedly: it must survive the next eviction.
+  ASSERT_TRUE(L.access(0));
+  L.fill(64, false);
+  EXPECT_TRUE(L.probe(0));
+  EXPECT_TRUE(L.probe(64));
+}
+
+TEST(CacheLevelTest, PLRUFallsBackForNonPowerOfTwoWays) {
+  // 20 ways is not a power of two; construction must not assert and the
+  // cache must behave like LRU.
+  CacheLevel L(CacheParams{20 * 64 * 4, 64, 20},
+               ReplacementPolicy::TreePLRU);
+  for (uint64_t Line = 0; Line != 20; ++Line)
+    L.fill(Line * 4, false);
+  EXPECT_EQ(L.stats().Evictions, 0u);
+}
+
+TEST(HierarchyTest, PLRUAndLRUBothFunctional) {
+  for (ReplacementPolicy Policy :
+       {ReplacementPolicy::LRU, ReplacementPolicy::TreePLRU}) {
+    MemoryHierarchy H(intelI7_6700(), Policy);
+    for (uint64_t I = 0; I != 10000; ++I)
+      H.load(I * 4, 4);
+    HierarchyStats S = H.stats();
+    EXPECT_GT(S.L1.DemandHits, 9000u);
+  }
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- CodegenTest.cpp - C source generation structure tests ---------------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+// Checks the textual structure of generated C: typed buffer declarations
+// (const for read-only, restrict everywhere), stride-based index
+// linearization, parallel-loop outlining through the runtime hook,
+// vectorization pragmas and streaming-store emission.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGenC.h"
+#include "lang/Func.h"
+#include "lang/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace ltp;
+
+namespace {
+
+std::vector<BufferBinding> simpleSignature() {
+  Buffer<float> Out({32, 16}), In({32, 16});
+  return {BufferBinding::fromRef("Out", Out.ref()),
+          BufferBinding::fromRef("In", In.ref())};
+}
+
+TEST(CodegenTest, BufferDeclsConstAndRestrict) {
+  Var X("x"), Y("y");
+  InputBuffer In("In", ir::Type::float32(), 2);
+  Func Out("Out");
+  Out(X, Y) = In(X, Y) * 2.0f;
+  std::string Source =
+      generateC(lowerFunc(Out, {32, 16}), simpleSignature(), "k");
+  EXPECT_NE(Source.find("float *restrict Out"), std::string::npos);
+  EXPECT_NE(Source.find("const float *restrict In"), std::string::npos);
+  EXPECT_NE(Source.find("__builtin_assume_aligned"), std::string::npos);
+}
+
+TEST(CodegenTest, IndexLinearizationUsesStrides) {
+  Var X("x"), Y("y");
+  InputBuffer In("In", ir::Type::float32(), 2);
+  Func Out("Out");
+  Out(X, Y) = In(X, Y);
+  std::string Source =
+      generateC(lowerFunc(Out, {32, 16}), simpleSignature(), "k");
+  // Dimension 1 of a {32, 16} buffer has stride 32.
+  EXPECT_NE(Source.find("* 32LL"), std::string::npos) << Source;
+}
+
+TEST(CodegenTest, ParallelLoopIsOutlined) {
+  Var X("x"), Y("y");
+  InputBuffer In("In", ir::Type::float32(), 2);
+  Func Out("Out");
+  Out(X, Y) = In(X, Y);
+  Out.parallel("y");
+  std::string Source =
+      generateC(lowerFunc(Out, {32, 16}), simpleSignature(), "k");
+  EXPECT_NE(Source.find("ltp_closure_0"), std::string::npos);
+  EXPECT_NE(Source.find("ltp_par_body_0"), std::string::npos);
+  EXPECT_NE(Source.find("rt->parallel_for(rt, 0, 16, ltp_par_body_0"),
+            std::string::npos)
+      << Source;
+}
+
+TEST(CodegenTest, NestedCaptureReachesClosure) {
+  // Parallelize an inner loop: the outer loop variable must be captured.
+  Var X("x"), Y("y");
+  InputBuffer In("In", ir::Type::float32(), 2);
+  Func Out("Out");
+  Out(X, Y) = In(X, Y);
+  Out.pureStage().reorder({"x", "y"}); // keep order; then parallel x
+  Out.pureStage().parallel("x");
+  std::string Source =
+      generateC(lowerFunc(Out, {32, 16}), simpleSignature(), "k");
+  // y is in scope at the parallel x loop and must be a closure field.
+  EXPECT_NE(Source.find("int64_t y;"), std::string::npos) << Source;
+  EXPECT_NE(Source.find("ltp_cl->y"), std::string::npos) << Source;
+}
+
+TEST(CodegenTest, VectorizePragma) {
+  Var X("x"), Y("y");
+  InputBuffer In("In", ir::Type::float32(), 2);
+  Func Out("Out");
+  Out(X, Y) = In(X, Y);
+  Out.vectorize("x");
+  std::string Source =
+      generateC(lowerFunc(Out, {32, 16}), simpleSignature(), "k");
+  EXPECT_NE(Source.find("#pragma GCC ivdep"), std::string::npos);
+}
+
+TEST(CodegenTest, StreamingStoresAndFence) {
+  Var X("x"), Y("y");
+  InputBuffer In("In", ir::Type::float32(), 2);
+  Func Out("Out");
+  Out(X, Y) = In(X, Y);
+  Out.storeNonTemporal();
+  std::string Source =
+      generateC(lowerFunc(Out, {32, 16}), simpleSignature(), "k");
+  EXPECT_NE(Source.find("ltp_stream_store_f32(&Out["), std::string::npos)
+      << Source;
+  EXPECT_NE(Source.find("ltp_stream_fence();"), std::string::npos);
+  EXPECT_NE(Source.find("_mm_stream_si32"), std::string::npos);
+}
+
+TEST(CodegenTest, MinMaxLoweredToHelpers) {
+  Var X("x");
+  InputBuffer In("In", ir::Type::float32(), 1);
+  Func Out("Out");
+  Out(X) = min(In(X), 1.0f) + cast(ir::Type::float32(),
+                                   max(Expr(X), Expr(3)));
+  Buffer<float> OutB({16}), InB({16});
+  std::vector<BufferBinding> Signature = {
+      BufferBinding::fromRef("Out", OutB.ref()),
+      BufferBinding::fromRef("In", InB.ref())};
+  std::string Source = generateC(lowerFunc(Out, {16}), Signature, "k");
+  EXPECT_NE(Source.find("ltp_min_f32("), std::string::npos);
+  EXPECT_NE(Source.find("ltp_max_i64("), std::string::npos);
+}
+
+TEST(CodegenTest, GuardedSplitEmitsMin) {
+  Var X("x");
+  InputBuffer In("In", ir::Type::float32(), 1);
+  Func Out("Out");
+  Out(X) = In(X);
+  Out.split("x", "xo", "xi", 7); // 7 does not divide 16
+  Buffer<float> OutB({16}), InB({16});
+  std::vector<BufferBinding> Signature = {
+      BufferBinding::fromRef("Out", OutB.ref()),
+      BufferBinding::fromRef("In", InB.ref())};
+  std::string Source = generateC(lowerFunc(Out, {16}), Signature, "k");
+  EXPECT_NE(Source.find("ltp_min_i64(7,"), std::string::npos) << Source;
+}
+
+TEST(CodegenTest, NoStreamingHelpersWhenUnused) {
+  Var X("x");
+  InputBuffer In("In", ir::Type::float32(), 1);
+  Func Out("Out");
+  Out(X) = In(X);
+  Buffer<float> OutB({16}), InB({16});
+  std::vector<BufferBinding> Signature = {
+      BufferBinding::fromRef("Out", OutB.ref()),
+      BufferBinding::fromRef("In", InB.ref())};
+  std::string Source = generateC(lowerFunc(Out, {16}), Signature, "k");
+  EXPECT_EQ(Source.find("ltp_stream_store"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+//===- IRTest.cpp - IR node / visitor / mutator / simplifier tests --------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRMutator.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRVisitor.h"
+#include "ir/Simplify.h"
+#include "support/ArgParse.h"
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace ltp;
+using namespace ltp::ir;
+
+namespace {
+
+TEST(TypeTest, SizesAndNames) {
+  EXPECT_EQ(Type::float32().bytes(), 4u);
+  EXPECT_EQ(Type::float64().bytes(), 8u);
+  EXPECT_EQ(Type::int32().bytes(), 4u);
+  EXPECT_EQ(Type::uint8().bytes(), 1u);
+  EXPECT_EQ(Type::float32().cName(), "float");
+  EXPECT_EQ(Type::uint32().cName(), "uint32_t");
+  EXPECT_TRUE(Type::float64().isFloat());
+  EXPECT_TRUE(Type::int64().isInt());
+  EXPECT_TRUE(Type::boolean().isBool());
+  EXPECT_FALSE(Type::boolean().isInt());
+}
+
+TEST(ExprTest, BinaryTypePropagation) {
+  ExprPtr A = VarRef::make("a", Type::int32());
+  ExprPtr B = IntImm::make(3);
+  ExprPtr Sum = Binary::make(BinOp::Add, A, B);
+  EXPECT_EQ(Sum->type(), Type::int32());
+  ExprPtr Cmp = Binary::make(BinOp::LT, A, B);
+  EXPECT_TRUE(Cmp->type().isBool());
+}
+
+TEST(ExprTest, ConstHelpers) {
+  EXPECT_TRUE(isConstInt(IntImm::make(5), 5));
+  EXPECT_FALSE(isConstInt(IntImm::make(5), 4));
+  EXPECT_FALSE(isConstInt(VarRef::make("x"), 0));
+  EXPECT_EQ(asConstInt(IntImm::make(-7)).value(), -7);
+  EXPECT_FALSE(asConstInt(VarRef::make("x")).has_value());
+}
+
+TEST(SimplifyTest, ConstantFolding) {
+  ExprPtr E = Binary::make(
+      BinOp::Mul, Binary::make(BinOp::Add, IntImm::make(2), IntImm::make(3)),
+      IntImm::make(4));
+  EXPECT_TRUE(isConstInt(simplify(E), 20));
+}
+
+TEST(SimplifyTest, AlgebraicIdentities) {
+  ExprPtr X = VarRef::make("x");
+  EXPECT_EQ(simplify(Binary::make(BinOp::Add, X, IntImm::make(0))), X);
+  EXPECT_EQ(simplify(Binary::make(BinOp::Mul, X, IntImm::make(1))), X);
+  EXPECT_TRUE(
+      isConstInt(simplify(Binary::make(BinOp::Mul, X, IntImm::make(0))), 0));
+  EXPECT_EQ(simplify(Binary::make(BinOp::Min, X, X)), X);
+}
+
+TEST(SimplifyTest, MinGuardCollapsesWhenDivisible) {
+  // min(64, 2048 - t*64) stays (depends on t), but min(64, 64) folds.
+  ExprPtr Guard = Binary::make(BinOp::Min, IntImm::make(64),
+                               IntImm::make(64));
+  EXPECT_TRUE(isConstInt(simplify(Guard), 64));
+}
+
+TEST(SimplifyTest, SelectAndIfFolding) {
+  ExprPtr TrueCond = Binary::make(BinOp::LT, IntImm::make(1),
+                                  IntImm::make(2));
+  ExprPtr Sel = Select::make(simplify(TrueCond), IntImm::make(10),
+                             IntImm::make(20));
+  EXPECT_TRUE(isConstInt(simplify(Sel), 10));
+
+  StmtPtr Store1 = Store::make("A", {IntImm::make(0)}, IntImm::make(1));
+  StmtPtr Store2 = Store::make("A", {IntImm::make(0)}, IntImm::make(2));
+  StmtPtr If = IfThenElse::make(simplify(TrueCond), Store1, Store2);
+  EXPECT_EQ(simplify(If), Store1);
+}
+
+TEST(SimplifyTest, FloatFoldingRespectsTypes) {
+  ExprPtr E = Binary::make(BinOp::Add, FloatImm::make(0.5f),
+                           FloatImm::make(0.25f));
+  ExprPtr S = simplify(E);
+  const FloatImm *F = exprDynAs<FloatImm>(S);
+  ASSERT_NE(F, nullptr);
+  EXPECT_DOUBLE_EQ(F->Value, 0.75);
+  EXPECT_EQ(S->type(), Type::float32());
+}
+
+TEST(MutatorTest, UnchangedTreesAreShared) {
+  ExprPtr E = Binary::make(BinOp::Add, VarRef::make("x"), IntImm::make(1));
+  IRMutator M;
+  EXPECT_EQ(M.mutateExpr(E), E) << "identity mutation must share nodes";
+}
+
+TEST(MutatorTest, SubstituteRespectsShadowing) {
+  // for x: A[x] = y  with substitution {x -> 7, y -> 9}: x is shadowed by
+  // the loop, y is not.
+  StmtPtr Body = Store::make("A", {VarRef::make("x")}, VarRef::make("y"));
+  StmtPtr Loop = For::make("x", IntImm::make(0), IntImm::make(4),
+                           ForKind::Serial, Body);
+  std::map<std::string, ExprPtr> Map = {{"x", IntImm::make(7)},
+                                        {"y", IntImm::make(9)}};
+  StmtPtr Result = substitute(Loop, Map);
+  const For *F = stmtDynAs<For>(Result);
+  ASSERT_NE(F, nullptr);
+  const Store *S = stmtDynAs<Store>(F->Body);
+  ASSERT_NE(S, nullptr);
+  EXPECT_NE(exprDynAs<VarRef>(S->Indices[0]), nullptr)
+      << "loop variable must not be substituted inside its own loop";
+  EXPECT_TRUE(isConstInt(S->Value, 9));
+}
+
+TEST(MutatorTest, SubstituteInLoopBounds) {
+  // Loop bounds are evaluated outside the loop, so the substitution
+  // applies there even for a same-named variable.
+  StmtPtr Body = Store::make("A", {VarRef::make("x")}, IntImm::make(0));
+  StmtPtr Loop = For::make("x", IntImm::make(0), VarRef::make("n"),
+                           ForKind::Serial, Body);
+  std::map<std::string, ExprPtr> Map = {{"n", IntImm::make(12)}};
+  const For *F = stmtDynAs<For>(substitute(Loop, Map));
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(isConstInt(F->Extent, 12));
+}
+
+TEST(VisitorTest, VisitsEveryNode) {
+  class Counter : public IRVisitor {
+  public:
+    int Loads = 0, Stores = 0, Fors = 0;
+
+  protected:
+    void visit(const Load *Node) override {
+      ++Loads;
+      IRVisitor::visit(Node);
+    }
+    void visit(const Store *Node) override {
+      ++Stores;
+      IRVisitor::visit(Node);
+    }
+    void visit(const For *Node) override {
+      ++Fors;
+      IRVisitor::visit(Node);
+    }
+  };
+
+  ExprPtr Value = Binary::make(
+      BinOp::Add, Load::make("B", {VarRef::make("i")}, Type::float32()),
+      Load::make("C", {VarRef::make("i")}, Type::float32()));
+  StmtPtr S = For::make(
+      "i", IntImm::make(0), IntImm::make(8), ForKind::Serial,
+      Store::make("A", {VarRef::make("i")}, Value));
+  Counter C;
+  C.visitStmt(S);
+  EXPECT_EQ(C.Loads, 2);
+  EXPECT_EQ(C.Stores, 1);
+  EXPECT_EQ(C.Fors, 1);
+}
+
+TEST(PrinterTest, StableSpelling) {
+  ExprPtr E = Binary::make(
+      BinOp::Mul, Binary::make(BinOp::Add, VarRef::make("x"),
+                               IntImm::make(1)),
+      VarRef::make("y"));
+  EXPECT_EQ(printExpr(E), "((x + 1) * y)");
+  ExprPtr M = Binary::make(BinOp::Min, VarRef::make("a"), VarRef::make("b"));
+  EXPECT_EQ(printExpr(M), "min(a, b)");
+}
+
+TEST(FormatTest, Helpers) {
+  EXPECT_EQ(strFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcde", 3), "abcde");
+}
+
+TEST(ArgParseTest, Forms) {
+  const char *Argv[] = {"prog", "--flag", "--key=value", "--num", "42",
+                        "positional"};
+  ArgParse Args(6, Argv);
+  EXPECT_TRUE(Args.has("flag"));
+  EXPECT_FALSE(Args.has("missing"));
+  EXPECT_EQ(Args.getString("key", ""), "value");
+  EXPECT_EQ(Args.getInt("num", 0), 42);
+  EXPECT_EQ(Args.getInt("absent", -1), -1);
+  ASSERT_EQ(Args.positional().size(), 1u);
+  EXPECT_EQ(Args.positional()[0], "positional");
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+//===- InlineTest.cpp - producer inlining (compute-inline) ------------------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+// Inlining composes a producer's definition into its consumers so the
+// classifier analyzes the real statement. These tests check semantic
+// equivalence with realize-to-buffer pipelines and the classification
+// changes inlining causes (a shifted producer turns a copy into a
+// stencil; a transposed producer turns it into a spatial statement).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Classifier.h"
+#include "core/Optimizer.h"
+#include "interp/Interpreter.h"
+#include "lang/Func.h"
+#include "lang/Lower.h"
+#include "tests/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace ltp;
+
+namespace {
+
+TEST(InlineTest, MatchesRealizedPipeline) {
+  constexpr int64_t N = 32;
+  Buffer<float> In({N, N}), OutInlined({N, N}), OutRealized({N, N});
+  Buffer<float> Tmp({N, N});
+  In.fillRandom(3);
+
+  Var X("x"), Y("y");
+  InputBuffer InB("In", ir::Type::float32(), 2);
+
+  // Producer: brighten; consumer: squared.
+  auto MakePipeline = [&](Func &Bright, Func &Out) {
+    Bright(X, Y) = InB(X, Y) * 2.0f + 1.0f;
+    Out(X, Y) = Expr(Bright(X, Y)) * Expr(Bright(X, Y));
+  };
+
+  // Realized: run producer into a buffer, then the consumer.
+  {
+    Func Bright("Bright"), Out("Out");
+    MakePipeline(Bright, Out);
+    interpret(lowerFunc(Bright, {N, N}),
+              {{"In", In.ref()}, {"Bright", Tmp.ref()}});
+    interpret(lowerFunc(Out, {N, N}),
+              {{"Bright", Tmp.ref()}, {"Out", OutRealized.ref()}});
+  }
+  // Inlined: one stage, no intermediate buffer.
+  {
+    Func Bright("Bright"), Out("Out");
+    MakePipeline(Bright, Out);
+    Out.inlineCalls(Bright);
+    interpret(lowerFunc(Out, {N, N}),
+              {{"In", In.ref()}, {"Out", OutInlined.ref()}});
+  }
+  test::expectNear(OutInlined, OutRealized);
+}
+
+TEST(InlineTest, SubstitutesIndexExpressions) {
+  // Consumer reads the producer at shifted coordinates; the inlined value
+  // must see the shifted indices.
+  constexpr int64_t N = 16;
+  Buffer<float> In({N + 2, N}), Out({N, N});
+  In.fillRandom(5);
+
+  Var X("x"), Y("y");
+  InputBuffer InB("In", ir::Type::float32(), 2);
+  Func P("P"), Consumer("Out");
+  P(X, Y) = InB(X, Y) + 3.0f;
+  Consumer(X, Y) = P(Expr(X) + 2, Y);
+  Consumer.inlineCalls(P);
+
+  interpret(lowerFunc(Consumer, {N, N}),
+            {{"In", In.ref()}, {"Out", Out.ref()}});
+  for (int64_t Y2 = 0; Y2 != N; ++Y2)
+    for (int64_t X2 = 0; X2 != N; ++X2)
+      ASSERT_FLOAT_EQ(Out(X2, Y2), In(X2 + 2, Y2) + 3.0f);
+}
+
+TEST(InlineTest, ChainOfProducersInlinesTransitively) {
+  constexpr int64_t N = 8;
+  Buffer<float> In({N}), Out({N});
+  In.fillRandom(7);
+
+  Var X("x");
+  InputBuffer InB("In", ir::Type::float32(), 1);
+  Func A("A"), B("B"), C("Out");
+  A(X) = InB(X) + 1.0f;
+  B(X) = Expr(A(X)) * 2.0f;
+  C(X) = Expr(B(X)) - 3.0f;
+  // Inline bottom-up: B absorbs A, then C absorbs the composed B.
+  B.inlineCalls(A);
+  C.inlineCalls(B);
+
+  interpret(lowerFunc(C, {N}), {{"In", In.ref()}, {"Out", Out.ref()}});
+  // The interpreter evaluates float expressions in double and rounds at
+  // the store, so allow one-ulp-scale differences.
+  for (int64_t I = 0; I != N; ++I)
+    ASSERT_NEAR(Out(I), (In(I) + 1.0f) * 2.0f - 3.0f, 1e-5);
+}
+
+TEST(InlineTest, InliningShiftedProducerMakesStencil) {
+  // Out(x,y) = P(x,y) + P(x+1,y) with P = In + 1: after inlining, the
+  // classifier must see the constant-offset (stencil) pattern.
+  Var X("x"), Y("y");
+  InputBuffer InB("In", ir::Type::float32(), 2);
+  Func P("P"), Out("Out");
+  P(X, Y) = InB(X, Y) + 1.0f;
+  Out(X, Y) = Expr(P(X, Y)) + Expr(P(Expr(X) + 1, Y));
+  Out.inlineCalls(P);
+
+  StageAccessInfo Info = analyzeComputeStage(Out, {16, 16});
+  Classification C = classify(Info);
+  EXPECT_EQ(C.Kind, StatementClass::NoTransform);
+  EXPECT_TRUE(C.IsStencil);
+}
+
+TEST(InlineTest, InliningTransposedProducerMakesSpatial) {
+  Var X("x"), Y("y");
+  InputBuffer InB("In", ir::Type::float32(), 2);
+  Func P("P"), Out("Out");
+  P(X, Y) = InB(X, Y) * 2.0f;
+  Out(X, Y) = P(Y, X); // consumer transposes the producer
+  Out.inlineCalls(P);
+
+  StageAccessInfo Info = analyzeComputeStage(Out, {16, 16});
+  Classification C = classify(Info);
+  EXPECT_EQ(C.Kind, StatementClass::SpatialReuse);
+  ASSERT_EQ(C.TransposedInputs.size(), 1u);
+  EXPECT_EQ(C.TransposedInputs[0], "In");
+}
+
+TEST(InlineTest, UpdateDefinitionsAreRewrittenToo) {
+  constexpr int64_t N = 12;
+  Buffer<float> In({N, N}), Out({N});
+  In.fillRandom(9);
+
+  Var X("x");
+  InputBuffer InB("In", ir::Type::float32(), 2);
+  RDom K(0, static_cast<int>(N), "k");
+  Func P("P"), Sum("Out");
+  Var X2("x2"), Y2("y2");
+  P(X2, Y2) = InB(X2, Y2) + 0.5f;
+  Sum(X) = 0.0f;
+  Sum(X) += P(X, K);
+  Sum.inlineCalls(P);
+
+  interpret(lowerFunc(Sum, {N}), {{"In", In.ref()}, {"Out", Out.ref()}});
+  for (int64_t I = 0; I != N; ++I) {
+    float Want = 0.0f;
+    for (int64_t K2 = 0; K2 != N; ++K2)
+      Want += In(I, K2) + 0.5f;
+    ASSERT_NEAR(Out(I), Want, 1e-3);
+  }
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+//===- InterpreterTest.cpp - interpreter semantics tests --------------------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+// Direct tests of interpreter semantics: expression evaluation, casts,
+// lazy select, let bindings, predicates, the memory-trace hook, and
+// serial/parallel equivalence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Simplify.h"
+#include "lang/Func.h"
+#include "lang/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace ltp;
+using namespace ltp::ir;
+
+namespace {
+
+TEST(InterpreterTest, IntegerArithmeticAndBitwise) {
+  Buffer<int32_t> Out({1});
+  // Out[0] = ((13 % 5) << nothing) | (6 & 3) ^ 1 computed via IR ops.
+  ExprPtr E = Binary::make(
+      BinOp::BitXor,
+      Binary::make(BinOp::BitOr,
+                   Binary::make(BinOp::Mod, IntImm::make(13),
+                                IntImm::make(5)),
+                   Binary::make(BinOp::BitAnd, IntImm::make(6),
+                                IntImm::make(3))),
+      IntImm::make(1));
+  StmtPtr S = Store::make("Out", {IntImm::make(0)}, E);
+  interpret(S, {{"Out", Out.ref()}});
+  EXPECT_EQ(Out(0), ((13 % 5) | (6 & 3)) ^ 1);
+}
+
+TEST(InterpreterTest, CastRoundsThroughFloat32) {
+  Buffer<float> Out({1});
+  // (float)((double)1/3): the float32 cast must round to float precision.
+  ExprPtr Third = Binary::make(BinOp::Div, FloatImm::make(1.0, Type::float64()),
+                               FloatImm::make(3.0, Type::float64()));
+  StmtPtr S = Store::make("Out", {IntImm::make(0)},
+                          Cast::make(Type::float32(), Third));
+  interpret(S, {{"Out", Out.ref()}});
+  EXPECT_EQ(Out(0), static_cast<float>(1.0 / 3.0));
+}
+
+TEST(InterpreterTest, SelectEvaluatesOnlyTakenArm) {
+  // select(i < 4, A[i], A[i + 100]) over i in [0, 4): the untaken arm
+  // would be out of bounds (and assert) if evaluated.
+  Buffer<float> A({4}), Out({4});
+  A.fillRandom(3);
+  ExprPtr I = VarRef::make("i");
+  ExprPtr Cond = Binary::make(BinOp::LT, I, IntImm::make(4));
+  ExprPtr Taken = Load::make("A", {I}, Type::float32());
+  ExprPtr Untaken = Load::make(
+      "A", {Binary::make(BinOp::Add, I, IntImm::make(100))},
+      Type::float32());
+  StmtPtr S = For::make(
+      "i", IntImm::make(0), IntImm::make(4), ForKind::Serial,
+      Store::make("Out", {I}, Select::make(Cond, Taken, Untaken)));
+  interpret(S, {{"A", A.ref()}, {"Out", Out.ref()}});
+  for (int64_t Idx = 0; Idx != 4; ++Idx)
+    EXPECT_EQ(Out(Idx), A(Idx));
+}
+
+TEST(InterpreterTest, LetBindingScopes) {
+  Buffer<int32_t> Out({3});
+  ExprPtr I = VarRef::make("i");
+  // let t = i * 10 in Out[i] = t + i.
+  StmtPtr Body = LetStmt::make(
+      "t", Binary::make(BinOp::Mul, I, IntImm::make(10)),
+      Store::make("Out", {I},
+                  Binary::make(BinOp::Add, VarRef::make("t"), I)));
+  StmtPtr S = For::make("i", IntImm::make(0), IntImm::make(3),
+                        ForKind::Serial, Body);
+  interpret(S, {{"Out", Out.ref()}});
+  for (int64_t Idx = 0; Idx != 3; ++Idx)
+    EXPECT_EQ(Out(Idx), Idx * 10 + Idx);
+}
+
+TEST(InterpreterTest, HookSeesEveryAccessWithKind) {
+  Buffer<float> A({8}), Out({8});
+  Var X("x");
+  InputBuffer AIn("A", Type::float32(), 1);
+  Func O("Out");
+  O(X) = AIn(X) + 1.0f;
+  O.storeNonTemporal();
+
+  int Loads = 0, Stores = 0, NTStores = 0;
+  InterpOptions Options;
+  Options.Hook = [&](AccessKind Kind, uint64_t, uint32_t Size) {
+    EXPECT_EQ(Size, 4u);
+    if (Kind == AccessKind::Load)
+      ++Loads;
+    else if (Kind == AccessKind::Store)
+      ++Stores;
+    else
+      ++NTStores;
+  };
+  interpret(lowerFunc(O, {8}), {{"A", A.ref()}, {"Out", Out.ref()}},
+            Options);
+  EXPECT_EQ(Loads, 8);
+  EXPECT_EQ(Stores, 0);
+  EXPECT_EQ(NTStores, 8);
+}
+
+TEST(InterpreterTest, HookAddressesMatchBufferLayout) {
+  Buffer<float> Out({4, 2});
+  Var X("x"), Y("y");
+  Func O("Out");
+  O(X, Y) = 1.0f;
+
+  std::vector<uint64_t> Addresses;
+  InterpOptions Options;
+  Options.Hook = [&](AccessKind, uint64_t Address, uint32_t) {
+    Addresses.push_back(Address);
+  };
+  interpret(lowerFunc(O, {4, 2}), {{"Out", Out.ref()}}, Options);
+  ASSERT_EQ(Addresses.size(), 8u);
+  uint64_t Base = reinterpret_cast<uint64_t>(Out.data());
+  // Default nest: y outer, x inner; contiguous addresses in x.
+  EXPECT_EQ(Addresses[0], Base);
+  EXPECT_EQ(Addresses[1], Base + 4);
+  EXPECT_EQ(Addresses[4], Base + 4 * 4);
+}
+
+TEST(InterpreterTest, ParallelMatchesSerial) {
+  constexpr int64_t N = 64;
+  Buffer<float> A({N}), OutSerial({N}), OutParallel({N});
+  A.fillRandom(9);
+  Var X("x");
+  InputBuffer AIn("A", Type::float32(), 1);
+  Func O("Out");
+  O(X) = AIn(X) * 3.0f;
+  O.split("x", "xo", "xi", 5).parallel("xo");
+  StmtPtr S = lowerFunc(O, {N});
+
+  interpret(S, {{"A", A.ref()}, {"Out", OutSerial.ref()}});
+  InterpOptions Options;
+  Options.RunParallel = true;
+  interpret(S, {{"A", A.ref()}, {"Out", OutParallel.ref()}}, Options);
+  for (int64_t I = 0; I != N; ++I)
+    EXPECT_EQ(OutSerial(I), OutParallel(I));
+}
+
+TEST(InterpreterTest, ZeroExtentLoopRunsNothing) {
+  Buffer<float> Out({4});
+  Out.fill(5.0f);
+  StmtPtr S = For::make("i", IntImm::make(0), IntImm::make(0),
+                        ForKind::Serial,
+                        Store::make("Out", {VarRef::make("i")},
+                                    FloatImm::make(0.0f)));
+  interpret(S, {{"Out", Out.ref()}});
+  EXPECT_EQ(Out(0), 5.0f);
+}
+
+TEST(InterpreterTest, PredicateGuardsExecution) {
+  Buffer<int32_t> Out({8});
+  ExprPtr I = VarRef::make("i");
+  StmtPtr Guarded = IfThenElse::make(
+      Binary::make(BinOp::GE, I, IntImm::make(4)),
+      Store::make("Out", {I}, IntImm::make(1)));
+  StmtPtr S = For::make("i", IntImm::make(0), IntImm::make(8),
+                        ForKind::Serial, Guarded);
+  interpret(S, {{"Out", Out.ref()}});
+  for (int64_t Idx = 0; Idx != 8; ++Idx)
+    EXPECT_EQ(Out(Idx), Idx >= 4 ? 1 : 0);
+}
+
+} // namespace

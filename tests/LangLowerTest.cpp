@@ -1,0 +1,271 @@
+//===- LangLowerTest.cpp - DSL definition and lowering tests --------------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+// Covers: Func/Var/RDom definitions, schedule directives (split, tile,
+// fuse, reorder, parallel, vectorize, unroll, store_nontemporal), lowering
+// to IR, and execution through the interpreter against hand-written
+// references.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "interp/Interpreter.h"
+#include "lang/Func.h"
+#include "lang/Lower.h"
+#include "tests/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace ltp;
+
+namespace {
+
+/// Reference matmul: C[i][j] = sum_k A[i][k] * B[k][j], with dimension 0
+/// of each buffer the column (contiguous) index, i.e. C(j, i).
+void referenceMatmul(const Buffer<float> &A, const Buffer<float> &B,
+                     Buffer<float> &C, int64_t N) {
+  for (int64_t I = 0; I != N; ++I)
+    for (int64_t J = 0; J != N; ++J) {
+      float Acc = 0.0f;
+      for (int64_t K = 0; K != N; ++K)
+        Acc += A(K, I) * B(J, K);
+      C(J, I) = Acc;
+    }
+}
+
+/// Builds the matmul Func of Listing 3 over NxN inputs.
+Func makeMatmul(InputBuffer &A, InputBuffer &B, int64_t N) {
+  Var J("j"), I("i");
+  RDom K(0, static_cast<int>(N), "k");
+  Func C("C");
+  C(J, I) = 0.0f;
+  C(J, I) += A(K, I) * B(J, K);
+  return C;
+}
+
+std::map<std::string, BufferRef> bind(Buffer<float> &A, Buffer<float> &B,
+                                      Buffer<float> &C) {
+  return {{"A", A.ref()}, {"B", B.ref()}, {"C", C.ref()}};
+}
+
+class MatmulFixture : public ::testing::Test {
+protected:
+  static constexpr int64_t N = 24;
+
+  void SetUp() override {
+    A = std::make_unique<Buffer<float>>(std::vector<int64_t>{N, N});
+    B = std::make_unique<Buffer<float>>(std::vector<int64_t>{N, N});
+    C = std::make_unique<Buffer<float>>(std::vector<int64_t>{N, N});
+    Want = std::make_unique<Buffer<float>>(std::vector<int64_t>{N, N});
+    A->fillRandom(1);
+    B->fillRandom(2);
+    referenceMatmul(*A, *B, *Want, N);
+  }
+
+  void runAndCheck(Func &F) {
+    C->fill(-1.0f);
+    ir::StmtPtr S = lowerFunc(F, {N, N});
+    interpret(S, bind(*A, *B, *C));
+    test::expectNear(*C, *Want);
+  }
+
+  std::unique_ptr<Buffer<float>> A, B, C, Want;
+};
+
+TEST_F(MatmulFixture, DefaultScheduleMatchesReference) {
+  InputBuffer AIn("A", ir::Type::float32(), 2);
+  InputBuffer BIn("B", ir::Type::float32(), 2);
+  Func C = makeMatmul(AIn, BIn, N);
+  runAndCheck(C);
+}
+
+TEST_F(MatmulFixture, ListingThreeScheduleMatchesReference) {
+  InputBuffer AIn("A", ir::Type::float32(), 2);
+  InputBuffer BIn("B", ir::Type::float32(), 2);
+  Func C = makeMatmul(AIn, BIn, N);
+  // The schedule of Listing 3, scaled to the test size.
+  C.update()
+      .split("j", "j_o", "j_i", 12)
+      .split("i", "i_o", "i_i", 8)
+      .reorder({"j_i", "i_i", "j_o", "i_o"})
+      .vectorize("j_i", 4)
+      .parallel("i_o");
+  runAndCheck(C);
+}
+
+TEST_F(MatmulFixture, NonDividingSplitIsGuarded) {
+  InputBuffer AIn("A", ir::Type::float32(), 2);
+  InputBuffer BIn("B", ir::Type::float32(), 2);
+  Func C = makeMatmul(AIn, BIn, N);
+  // 7 does not divide 24: tails must be handled by the min() guard.
+  C.update()
+      .split("j", "j_o", "j_i", 7)
+      .split("i", "i_o", "i_i", 5)
+      .split("k", "k_o", "k_i", 11)
+      .reorder({"j_i", "i_i", "k_i", "j_o", "i_o", "k_o"});
+  runAndCheck(C);
+}
+
+TEST_F(MatmulFixture, SplitOfSplitAndUnroll) {
+  InputBuffer AIn("A", ir::Type::float32(), 2);
+  InputBuffer BIn("B", ir::Type::float32(), 2);
+  Func C = makeMatmul(AIn, BIn, N);
+  C.update()
+      .split("j", "j_o", "j_i", 12)
+      .split("j_i", "j_io", "j_ii", 4)
+      .unroll("j_ii");
+  runAndCheck(C);
+}
+
+TEST_F(MatmulFixture, FuseOuterLoops) {
+  InputBuffer AIn("A", ir::Type::float32(), 2);
+  InputBuffer BIn("B", ir::Type::float32(), 2);
+  Func C = makeMatmul(AIn, BIn, N);
+  C.update()
+      .split("j", "j_o", "j_i", 8)
+      .split("i", "i_o", "i_i", 8)
+      .reorder({"j_i", "i_i", "j_o", "i_o"})
+      .fuse("i_o", "j_o", "oo")
+      .parallel("oo");
+  runAndCheck(C);
+}
+
+TEST_F(MatmulFixture, ParallelExecutionOnThreadPool) {
+  InputBuffer AIn("A", ir::Type::float32(), 2);
+  InputBuffer BIn("B", ir::Type::float32(), 2);
+  Func M = makeMatmul(AIn, BIn, N);
+  M.update().split("i", "i_o", "i_i", 4).reorder(
+      {"j", "k", "i_i", "i_o"});
+  M.update().parallel("i_o");
+  C->fill(-1.0f);
+  ir::StmtPtr S = lowerFunc(M, {N, N});
+  InterpOptions Options;
+  Options.RunParallel = true;
+  interpret(S, bind(*A, *B, *C), Options);
+  test::expectNear(*C, *Want);
+}
+
+TEST(LowerTest, PureFunctionTransposeAndMask) {
+  // Listing 2: out[y][x] = A[x][y] & B[y][x] over uint32.
+  constexpr int64_t W = 17, H = 13;
+  Buffer<uint32_t> A({H, W}), B({W, H}), Out({W, H}), Want({W, H});
+  A.fillRandom(3);
+  B.fillRandom(4);
+  for (int64_t Y = 0; Y != H; ++Y)
+    for (int64_t X = 0; X != W; ++X)
+      Want(X, Y) = A(Y, X) & B(X, Y);
+
+  Var X("x"), Y("y");
+  InputBuffer AIn("A", ir::Type::uint32(), 2);
+  InputBuffer BIn("B", ir::Type::uint32(), 2);
+  Func O("Out");
+  O(X, Y) = AIn(Y, X) & BIn(X, Y);
+  O.pureStage()
+      .split("y", "yy", "y_i", 4)
+      .split("x", "xx", "x_i", 8)
+      .reorder({"x_i", "y_i", "xx", "yy"});
+
+  ir::StmtPtr S = lowerFunc(O, {W, H});
+  std::map<std::string, BufferRef> Buffers = {
+      {"A", A.ref()}, {"B", B.ref()}, {"Out", Out.ref()}};
+  interpret(S, Buffers);
+  test::expectEqual(Out, Want);
+}
+
+TEST(LowerTest, TriangularUpdateViaWherePredicate) {
+  // out(j, i) += in(j, k) for k <= i: a predicate-guarded reduction.
+  constexpr int64_t N = 9;
+  Buffer<float> In({N, N}), Out({N, N}), Want({N, N});
+  In.fillRandom(5);
+  for (int64_t I = 0; I != N; ++I)
+    for (int64_t J = 0; J != N; ++J) {
+      float Acc = 0.0f;
+      for (int64_t K = 0; K <= I; ++K)
+        Acc += In(J, K);
+      Want(J, I) = Acc;
+    }
+
+  Var J("j"), I("i");
+  InputBuffer InB("In", ir::Type::float32(), 2);
+  RDom K(0, static_cast<int>(N), "k");
+  K.where(Expr(K) <= Expr(I));
+  Func O("Out");
+  O(J, I) = 0.0f;
+  O(J, I) += InB(J, K);
+
+  ir::StmtPtr S = lowerFunc(O, {N, N});
+  std::map<std::string, BufferRef> Buffers = {{"In", In.ref()},
+                                              {"Out", Out.ref()}};
+  interpret(S, Buffers);
+  test::expectNear(Out, Want);
+}
+
+TEST(LowerTest, MultiDimRDomConvolution) {
+  // 1-channel 3x3 convolution: out(x, y) += in(x+rx, y+ry) * w(rx, ry).
+  constexpr int64_t W = 12, H = 10;
+  Buffer<float> In({W + 2, H + 2}), Wgt({3, 3}), Out({W, H}), Want({W, H});
+  In.fillRandom(6);
+  Wgt.fillRandom(7);
+  for (int64_t Y = 0; Y != H; ++Y)
+    for (int64_t X = 0; X != W; ++X) {
+      float Acc = 0.0f;
+      for (int64_t RY = 0; RY != 3; ++RY)
+        for (int64_t RX = 0; RX != 3; ++RX)
+          Acc += In(X + RX, Y + RY) * Wgt(RX, RY);
+      Want(X, Y) = Acc;
+    }
+
+  Var X("x"), Y("y");
+  InputBuffer InB("In", ir::Type::float32(), 2);
+  InputBuffer WgtB("W", ir::Type::float32(), 2);
+  RDom R(std::vector<RVar>{RVar("rx", 0, 3), RVar("ry", 0, 3)});
+  Func O("Out");
+  O(X, Y) = 0.0f;
+  O(X, Y) += InB(Expr(X) + Expr(R[0]), Expr(Y) + Expr(R[1])) *
+             WgtB(R[0], R[1]);
+
+  ir::StmtPtr S = lowerFunc(O, {W, H});
+  std::map<std::string, BufferRef> Buffers = {
+      {"In", In.ref()}, {"W", Wgt.ref()}, {"Out", Out.ref()}};
+  interpret(S, Buffers);
+  test::expectNear(Out, Want);
+}
+
+TEST(LowerTest, PrintedNestShowsScheduleStructure) {
+  Var X("x"), Y("y");
+  InputBuffer In("In", ir::Type::float32(), 2);
+  Func O("Out");
+  O(X, Y) = In(X, Y) + 1.0f;
+  O.pureStage().split("x", "xo", "xi", 8).reorder({"xi", "xo", "y"});
+  O.storeNonTemporal();
+
+  ir::StmtPtr S = lowerStage(O, -1, {32, 16});
+  std::string Text = ir::printStmt(S);
+  EXPECT_NE(Text.find("for y in [0, 0 + 16)"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("for xo in [0, 0 + 4)"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("for xi in [0, 0 + 8)"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("non-temporal"), std::string::npos) << Text;
+}
+
+TEST(LowerTest, DefaultOrderPutsReductionOutermost) {
+  Var J("j"), I("i");
+  InputBuffer A("A", ir::Type::float32(), 2);
+  RDom K(0, 4, "k");
+  Func C("C");
+  C(J, I) = 0.0f;
+  C(J, I) += A(K, I) + A(J, K);
+
+  ir::StmtPtr S = lowerStage(C, 0, {4, 4});
+  std::string Text = ir::printStmt(S);
+  size_t PosK = Text.find("for k");
+  size_t PosI = Text.find("for i");
+  size_t PosJ = Text.find("for j");
+  ASSERT_NE(PosK, std::string::npos);
+  ASSERT_NE(PosI, std::string::npos);
+  ASSERT_NE(PosJ, std::string::npos);
+  EXPECT_LT(PosK, PosI) << Text;
+  EXPECT_LT(PosI, PosJ) << Text;
+}
+
+} // namespace

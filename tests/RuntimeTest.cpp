@@ -1,0 +1,161 @@
+//===- RuntimeTest.cpp - buffer / thread pool / NT store tests -------------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Buffer.h"
+#include "runtime/NonTemporal.h"
+#include "runtime/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace ltp;
+
+namespace {
+
+TEST(BufferTest, StridesAreColumnMajorContiguous) {
+  Buffer<float> B({16, 8, 4});
+  EXPECT_EQ(B.stride(0), 1);
+  EXPECT_EQ(B.stride(1), 16);
+  EXPECT_EQ(B.stride(2), 16 * 8);
+  EXPECT_EQ(B.numElements(), 16 * 8 * 4);
+}
+
+TEST(BufferTest, AlignedTo64Bytes) {
+  for (int64_t N : {1, 3, 17, 1000}) {
+    Buffer<float> B({N});
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(B.data()) % 64, 0u);
+  }
+}
+
+TEST(BufferTest, ZeroInitializedAndFill) {
+  Buffer<uint32_t> B({64});
+  for (int64_t I = 0; I != 64; ++I)
+    EXPECT_EQ(B.data()[I], 0u);
+  B.fill(7);
+  for (int64_t I = 0; I != 64; ++I)
+    EXPECT_EQ(B.data()[I], 7u);
+}
+
+TEST(BufferTest, FillRandomIsDeterministic) {
+  Buffer<float> A({128}), B({128});
+  A.fillRandom(42);
+  B.fillRandom(42);
+  for (int64_t I = 0; I != 128; ++I)
+    EXPECT_EQ(A.data()[I], B.data()[I]);
+  Buffer<float> C({128});
+  C.fillRandom(43);
+  bool AnyDifferent = false;
+  for (int64_t I = 0; I != 128; ++I)
+    AnyDifferent |= A.data()[I] != C.data()[I];
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(BufferTest, RefMatchesBufferGeometry) {
+  Buffer<float> B({8, 4});
+  BufferRef R = B.ref();
+  EXPECT_EQ(R.Data, B.data());
+  EXPECT_EQ(R.ElemType, ir::Type::float32());
+  EXPECT_EQ(R.offsetOf({3, 2}), 3 + 2 * 8);
+  EXPECT_EQ(R.sizeBytes(), 8 * 4 * 4);
+}
+
+TEST(BufferTest, MoveTransfersOwnership) {
+  Buffer<float> A({32});
+  A.fill(1.5f);
+  float *Data = A.data();
+  Buffer<float> B = std::move(A);
+  EXPECT_EQ(B.data(), Data);
+  EXPECT_EQ(A.data(), nullptr);
+  EXPECT_EQ(B.data()[5], 1.5f);
+}
+
+TEST(ThreadPoolTest, CoversFullRangeExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr int64_t N = 10000;
+  std::vector<std::atomic<int>> Counts(N);
+  Pool.parallelFor(0, N, [&](int64_t I) {
+    Counts[static_cast<size_t>(I)].fetch_add(1);
+  });
+  for (int64_t I = 0; I != N; ++I)
+    EXPECT_EQ(Counts[static_cast<size_t>(I)].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, NonZeroMinRespected) {
+  ThreadPool Pool(3);
+  std::atomic<int64_t> Sum{0};
+  Pool.parallelFor(100, 50, [&](int64_t I) { Sum.fetch_add(I); });
+  int64_t Want = 0;
+  for (int64_t I = 100; I != 150; ++I)
+    Want += I;
+  EXPECT_EQ(Sum.load(), Want);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleRanges) {
+  ThreadPool Pool(2);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(0, 0, [&](int64_t) { Calls.fetch_add(1); });
+  EXPECT_EQ(Calls.load(), 0);
+  Pool.parallelFor(7, 1, [&](int64_t I) {
+    EXPECT_EQ(I, 7);
+    Calls.fetch_add(1);
+  });
+  EXPECT_EQ(Calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedCallsFallBackToSerial) {
+  ThreadPool Pool(4);
+  std::atomic<int64_t> Total{0};
+  Pool.parallelFor(0, 8, [&](int64_t) {
+    // Nested use of the global pool must not deadlock.
+    ThreadPool::global().parallelFor(0, 8, [&](int64_t) {
+      Total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(Total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool Pool(4);
+  for (int Round = 0; Round != 100; ++Round) {
+    std::atomic<int64_t> Sum{0};
+    Pool.parallelFor(0, 64, [&](int64_t I) { Sum.fetch_add(I + 1); });
+    ASSERT_EQ(Sum.load(), 64 * 65 / 2) << "round " << Round;
+  }
+}
+
+TEST(NonTemporalTest, StreamStoreFloatsMatchesMemcpy) {
+  constexpr size_t N = 1031; // odd tail exercises the scalar epilogue
+  Buffer<float> Src({static_cast<int64_t>(N)});
+  Buffer<float> Dst({static_cast<int64_t>(N)});
+  Src.fillRandom(5);
+  streamStoreFloats(Dst.data(), Src.data(), N);
+  streamFence();
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Dst.data()[I], Src.data()[I]);
+}
+
+TEST(NonTemporalTest, StreamStoreU32MatchesMemcpy) {
+  constexpr size_t N = 517;
+  Buffer<uint32_t> Src({static_cast<int64_t>(N)});
+  Buffer<uint32_t> Dst({static_cast<int64_t>(N)});
+  Src.fillRandom(6);
+  streamStoreU32(Dst.data(), Src.data(), N);
+  streamFence();
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Dst.data()[I], Src.data()[I]);
+}
+
+TEST(NonTemporalTest, AvailabilityMatchesBuild) {
+#if defined(__SSE2__)
+  EXPECT_TRUE(nonTemporalStoresAvailable());
+#else
+  EXPECT_FALSE(nonTemporalStoresAvailable());
+#endif
+}
+
+} // namespace

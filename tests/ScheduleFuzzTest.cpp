@@ -1,0 +1,127 @@
+//===- ScheduleFuzzTest.cpp - randomized schedule correctness --------------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+// Property test: ANY legal combination of scheduling directives must
+// compute the same values as the unscheduled definition. Each seed draws
+// random splits (including non-dividing factors), a random loop order,
+// random vectorize/unroll marks and random parallelism for matmul and for
+// the transpose-mask kernel, then checks the interpreter's result against
+// the reference oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/PipelineRunner.h"
+#include "core/AccessInfo.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace ltp;
+
+namespace {
+
+/// Applies a random but valid schedule to the compute stage of \p F.
+void applyRandomSchedule(Func &F, const std::vector<int64_t> &Extents,
+                         std::mt19937 &Rng) {
+  F.clearSchedules();
+  int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+  StageAccessInfo Info = analyzeStage(F, ComputeStage, Extents);
+  Stage S = ComputeStage < 0 ? F.pureStage() : F.update(ComputeStage);
+
+  std::vector<std::string> Leaves;
+  // Chains of split descendants, innermost first: a split's guarded
+  // inner loop must stay nested inside its outer, so the relative order
+  // within a chain is fixed.
+  std::vector<std::vector<std::string>> Chains;
+  auto Rand = [&](int Lo, int Hi) {
+    return std::uniform_int_distribution<int>(Lo, Hi)(Rng);
+  };
+
+  for (const LoopInfo &Loop : Info.Loops) {
+    std::string Name = Loop.Name;
+    std::vector<std::string> Chain;
+    // Up to two nested splits with arbitrary (often non-dividing)
+    // factors.
+    int Splits = Rand(0, 2);
+    for (int Level = 0; Level != Splits; ++Level) {
+      int64_t Factor = 2 + Rand(0, 12);
+      std::string Outer = Name + "_o" + std::to_string(Level);
+      std::string Inner = Name + "_i" + std::to_string(Level);
+      S.split(Name, Outer, Inner, Factor);
+      Leaves.push_back(Outer);
+      Chain.insert(Chain.begin(), Outer); // outers go late in the chain
+      Name = Inner;
+    }
+    Leaves.push_back(Name);
+    Chain.insert(Chain.begin(), Name);
+    Chains.push_back(std::move(Chain));
+  }
+
+  std::shuffle(Leaves.begin(), Leaves.end(), Rng);
+  // Restore intra-chain nesting: each chain's members occupy their
+  // shuffled positions in innermost-first order.
+  for (const std::vector<std::string> &Chain : Chains) {
+    std::vector<size_t> Positions;
+    for (size_t P = 0; P != Leaves.size(); ++P)
+      if (std::find(Chain.begin(), Chain.end(), Leaves[P]) != Chain.end())
+        Positions.push_back(P);
+    for (size_t I = 0; I != Positions.size(); ++I)
+      Leaves[Positions[I]] = Chain[I];
+  }
+  std::vector<VarName> Order;
+  for (const std::string &Name : Leaves)
+    Order.push_back(Name);
+  S.reorder(Order);
+
+  // Random marks on distinct loops (vectorize/unroll are semantically
+  // no-ops for the interpreter but must not perturb lowering).
+  if (Rand(0, 1))
+    S.vectorize(Leaves.front());
+  if (Leaves.size() > 1 && Rand(0, 1))
+    S.unroll(Leaves[1]);
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeeds, MatmulAnyScheduleIsCorrect) {
+  std::mt19937 Rng(static_cast<uint32_t>(GetParam()));
+  const BenchmarkDef *Def = findBenchmark("matmul");
+  BenchmarkInstance Instance = Def->Create(26); // not a power of two
+  applyRandomSchedule(Instance.Stages[0], Instance.StageExtents[0], Rng);
+  runInterpreted(Instance);
+  EXPECT_TRUE(verifyOutput(Instance)) << "seed " << GetParam();
+}
+
+TEST_P(FuzzSeeds, TrmmPredicatedScheduleIsCorrect) {
+  std::mt19937 Rng(static_cast<uint32_t>(GetParam()) * 7919u);
+  const BenchmarkDef *Def = findBenchmark("trmm");
+  BenchmarkInstance Instance = Def->Create(21);
+  applyRandomSchedule(Instance.Stages[0], Instance.StageExtents[0], Rng);
+  runInterpreted(Instance);
+  EXPECT_TRUE(verifyOutput(Instance)) << "seed " << GetParam();
+}
+
+TEST_P(FuzzSeeds, TransposeMaskAnyScheduleIsCorrect) {
+  std::mt19937 Rng(static_cast<uint32_t>(GetParam()) * 104729u);
+  const BenchmarkDef *Def = findBenchmark("tpm");
+  BenchmarkInstance Instance = Def->Create(33);
+  applyRandomSchedule(Instance.Stages[0], Instance.StageExtents[0], Rng);
+  runInterpreted(Instance);
+  EXPECT_TRUE(verifyOutput(Instance)) << "seed " << GetParam();
+}
+
+TEST_P(FuzzSeeds, ConvLayerAnyScheduleIsCorrect) {
+  std::mt19937 Rng(static_cast<uint32_t>(GetParam()) * 31u + 5u);
+  const BenchmarkDef *Def = findBenchmark("convlayer");
+  BenchmarkInstance Instance = Def->Create(12);
+  applyRandomSchedule(Instance.Stages[0], Instance.StageExtents[0], Rng);
+  runInterpreted(Instance);
+  EXPECT_TRUE(verifyOutput(Instance)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 12));
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- ScheduleTextTest.cpp - schedule (de)serialization tests -------------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/PipelineRunner.h"
+#include "core/Optimizer.h"
+#include "lang/ScheduleText.h"
+
+#include <gtest/gtest.h>
+
+using namespace ltp;
+
+namespace {
+
+TEST(ScheduleTextTest, RoundTripPreservesSemantics) {
+  // Optimize, print the schedule, re-apply it to a fresh instance, and
+  // check the results (and the reprinted text) match.
+  const BenchmarkDef *Def = findBenchmark("matmul");
+  BenchmarkInstance A = Def->Create(32);
+  optimize(A.Stages[0], A.StageExtents[0], intelI7_6700());
+  int Stage = A.Stages[0].numUpdates() - 1;
+  std::string Text = printSchedule(A.Stages[0], Stage);
+  EXPECT_FALSE(Text.empty());
+
+  BenchmarkInstance B = Def->Create(32);
+  B.Stages[0].clearSchedules();
+  auto Applied = applyScheduleText(B.Stages[0], Stage, Text);
+  ASSERT_TRUE(static_cast<bool>(Applied)) << Applied.getError();
+  EXPECT_EQ(printSchedule(B.Stages[0], Stage), Text);
+
+  runInterpreted(B);
+  EXPECT_TRUE(verifyOutput(B));
+}
+
+TEST(ScheduleTextTest, ParsesListingThreeStyle) {
+  const BenchmarkDef *Def = findBenchmark("matmul");
+  BenchmarkInstance I = Def->Create(48);
+  I.Stages[0].clearSchedules();
+  auto R = applyScheduleText(
+      I.Stages[0], 0,
+      "split(j, j_o, j_i, 12); split(i, i_o, i_i, 8);\n"
+      "reorder(j_i, i_i, j_o, i_o); vectorize(j_i); parallel(i_o);");
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError();
+  runInterpreted(I);
+  EXPECT_TRUE(verifyOutput(I));
+}
+
+TEST(ScheduleTextTest, StoreNonTemporalDirective) {
+  const BenchmarkDef *Def = findBenchmark("copy");
+  BenchmarkInstance I = Def->Create(64);
+  I.Stages[0].clearSchedules();
+  auto R = applyScheduleText(I.Stages[0], -1,
+                             "vectorize(x); store_nontemporal;");
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError();
+  EXPECT_TRUE(I.Stages[0].isStoreNonTemporal());
+  std::string Text = printSchedule(I.Stages[0], -1);
+  EXPECT_NE(Text.find("store_nontemporal"), std::string::npos);
+}
+
+TEST(ScheduleTextTest, ErrorsAreReported) {
+  const BenchmarkDef *Def = findBenchmark("copy");
+  BenchmarkInstance I = Def->Create(64);
+  I.Stages[0].clearSchedules();
+
+  auto R1 = applyScheduleText(I.Stages[0], -1, "split(x, a, b)");
+  EXPECT_FALSE(static_cast<bool>(R1));
+  EXPECT_NE(R1.getError().find("split"), std::string::npos);
+
+  auto R2 = applyScheduleText(I.Stages[0], -1, "frobnicate(x)");
+  EXPECT_FALSE(static_cast<bool>(R2));
+  EXPECT_NE(R2.getError().find("frobnicate"), std::string::npos);
+
+  auto R3 = applyScheduleText(I.Stages[0], -1, "split(x, a, b, -4)");
+  EXPECT_FALSE(static_cast<bool>(R3));
+}
+
+TEST(ScheduleTextTest, EmptyAndWhitespaceOnly) {
+  const BenchmarkDef *Def = findBenchmark("copy");
+  BenchmarkInstance I = Def->Create(64);
+  I.Stages[0].clearSchedules();
+  auto R = applyScheduleText(I.Stages[0], -1, "  \n ;;  ");
+  EXPECT_TRUE(static_cast<bool>(R)) << R.getError();
+  EXPECT_EQ(printSchedule(I.Stages[0], -1), "");
+}
+
+TEST(ScheduleTextTest, ValidateScheduleNames) {
+  const BenchmarkDef *Def = findBenchmark("matmul");
+  BenchmarkInstance I = Def->Create(32);
+  Func &F = I.Stages[0];
+  int Stage = F.numUpdates() - 1;
+  F.clearSchedules();
+
+  ASSERT_TRUE(static_cast<bool>(applyScheduleText(
+      F, Stage, "split(i, i_t, i_i, 8); parallel(i_t); reorder(j, k, "
+                "i_i, i_t);")));
+  EXPECT_EQ(validateScheduleNames(F, Stage), "");
+
+  F.clearSchedules();
+  ASSERT_TRUE(static_cast<bool>(
+      applyScheduleText(F, Stage, "parallel(zebra);")));
+  EXPECT_NE(validateScheduleNames(F, Stage).find("zebra"),
+            std::string::npos);
+
+  F.clearSchedules();
+  ASSERT_TRUE(static_cast<bool>(applyScheduleText(
+      F, Stage, "split(i, a, b, 4); reorder(i);")));
+  EXPECT_NE(validateScheduleNames(F, Stage).find("reorder"),
+            std::string::npos)
+      << "i no longer exists after being split";
+
+  F.clearSchedules();
+  ASSERT_TRUE(static_cast<bool>(
+      applyScheduleText(F, Stage, "split(i, j, b, 4);")));
+  EXPECT_NE(validateScheduleNames(F, Stage).find("already exists"),
+            std::string::npos);
+}
+
+} // namespace

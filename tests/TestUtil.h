@@ -1,0 +1,46 @@
+//===- TestUtil.h - shared helpers for the test suite -----------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_TESTS_TESTUTIL_H
+#define LTP_TESTS_TESTUTIL_H
+
+#include "runtime/Buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace ltp {
+namespace test {
+
+/// Expects elementwise equality of two float buffers within a relative
+/// tolerance that accounts for reassociated reductions.
+inline void expectNear(const Buffer<float> &Actual,
+                       const Buffer<float> &Expected, double Rel = 1e-4) {
+  ASSERT_EQ(Actual.numElements(), Expected.numElements());
+  const float *A = Actual.data();
+  const float *E = Expected.data();
+  for (int64_t I = 0; I != Actual.numElements(); ++I) {
+    double Tolerance = Rel * (1.0 + std::fabs(E[I]));
+    ASSERT_NEAR(A[I], E[I], Tolerance) << "at flat index " << I;
+  }
+}
+
+/// Expects exact equality of two integer buffers.
+template <typename T>
+inline void expectEqual(const Buffer<T> &Actual, const Buffer<T> &Expected) {
+  ASSERT_EQ(Actual.numElements(), Expected.numElements());
+  const T *A = Actual.data();
+  const T *E = Expected.data();
+  for (int64_t I = 0; I != Actual.numElements(); ++I)
+    ASSERT_EQ(A[I], E[I]) << "at flat index " << I;
+}
+
+} // namespace test
+} // namespace ltp
+
+#endif // LTP_TESTS_TESTUTIL_H

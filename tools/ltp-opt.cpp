@@ -1,0 +1,196 @@
+//===- ltp-opt.cpp - command-line driver for the optimizer -----------------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+// The tool of Section 4: feed it an algorithm (one of the built-in
+// benchmark definitions) and a platform, get back the classification, the
+// optimization schedule, the lowered loop nest and (optionally) the
+// generated C — without running anything.
+//
+// Usage:
+//   ltp-opt <benchmark> [--arch 5930k|6700|a15|host] [--size N]
+//           [--schedule "<directives>"] [--emit-c] [--simulate]
+//           [--no-nti] [--run]
+//
+// Examples:
+//   ltp-opt matmul --size 2048 --arch 5930k
+//   ltp-opt tpm --emit-c
+//   ltp-opt matmul --schedule "split(i, i_t, i_i, 32); parallel(i_t);"
+//   ltp-opt doitgen --simulate --arch a15
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/ArchFile.h"
+#include "benchmarks/PipelineRunner.h"
+#include "core/Optimizer.h"
+#include "ir/IRPrinter.h"
+#include "lang/ScheduleText.h"
+#include "support/ArgParse.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace ltp;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: ltp-opt <benchmark> [options]\n"
+      "\n"
+      "benchmarks:");
+  for (const BenchmarkDef &Def : allBenchmarks())
+    std::printf(" %s", Def.Name.c_str());
+  std::printf(
+      "\n\noptions:\n"
+      "  --arch 5930k|6700|a15|host   platform parameters (default host)\n"
+      "  --arch-file <path>           load platform from a description "
+      "file\n"
+      "  --size N                     problem size (default: benchmark "
+      "default)\n"
+      "  --schedule \"...\"             apply a textual schedule instead "
+      "of optimizing\n"
+      "  --emit-c                     print the generated C kernel(s)\n"
+      "  --simulate                   run the cache simulator and report "
+      "misses\n"
+      "  --no-nti                     disable non-temporal stores\n"
+      "  --run                        JIT-compile and time the pipeline\n");
+}
+
+ArchParams pickArch(const std::string &Name) {
+  if (Name == "5930k")
+    return intelI7_5930K();
+  if (Name == "6700")
+    return intelI7_6700();
+  if (Name == "a15" || Name == "arm")
+    return armCortexA15();
+  return detectHost();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args(Argc, Argv);
+  if (Args.positional().empty() || Args.has("help")) {
+    printUsage();
+    return Args.has("help") ? 0 : 1;
+  }
+  const std::string Name = Args.positional().front();
+  const BenchmarkDef *Def = findBenchmark(Name);
+  if (!Def) {
+    std::fprintf(stderr, "error: unknown benchmark '%s'\n", Name.c_str());
+    printUsage();
+    return 1;
+  }
+
+  ArchParams Arch = pickArch(Args.getString("arch", "host"));
+  if (Args.has("arch-file")) {
+    auto Loaded = loadArchParams(Args.getString("arch-file", ""));
+    if (!Loaded) {
+      std::fprintf(stderr, "error: %s\n", Loaded.getError().c_str());
+      return 1;
+    }
+    Arch = *Loaded;
+  }
+  int64_t Size = Args.getInt("size", Def->DefaultSize);
+  BenchmarkInstance Instance = Def->Create(Size);
+
+  std::printf("benchmark : %s (%s), size %lld\n", Def->Name.c_str(),
+              Def->Description.c_str(), static_cast<long long>(Size));
+  std::printf("platform  : %s\n\n", describe(Arch).c_str());
+
+  if (Args.has("schedule")) {
+    // Replay a user-provided schedule on the compute stage of the last
+    // pipeline stage.
+    Func &F = Instance.Stages.back();
+    F.clearSchedules();
+    int Stage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+    auto R = applyScheduleText(F, Stage, Args.getString("schedule", ""));
+    if (!R) {
+      std::fprintf(stderr, "error: bad schedule: %s\n",
+                   R.getError().c_str());
+      return 1;
+    }
+    std::string NameDiag = validateScheduleNames(F, Stage);
+    if (!NameDiag.empty()) {
+      std::fprintf(stderr, "error: bad schedule: %s\n", NameDiag.c_str());
+      return 1;
+    }
+    std::printf("schedule (user): %s\n\n",
+                printSchedule(F, Stage).c_str());
+  } else {
+    for (size_t S = 0; S != Instance.Stages.size(); ++S) {
+      OptimizerOptions Options;
+      Options.EnableNonTemporal = !Args.has("no-nti");
+      OptimizationResult R = optimize(
+          Instance.Stages[S], Instance.StageExtents[S], Arch, Options);
+      std::printf("stage %zu (%s): class=%s, %.2f ms to optimize\n  %s\n",
+                  S, Instance.Stages[S].name().c_str(),
+                  statementClassName(R.Class.Kind), R.RuntimeMillis,
+                  R.Description.c_str());
+      int Stage = Instance.Stages[S].numUpdates() > 0
+                      ? Instance.Stages[S].numUpdates() - 1
+                      : -1;
+      std::printf("  directives: %s\n",
+                  printSchedule(Instance.Stages[S], Stage).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("lowered loop nest (final stage):\n%s\n",
+              ir::printStmt(lowerPipeline(Instance).back()).c_str());
+
+  if (Args.has("emit-c")) {
+    std::vector<BufferBinding> Signature;
+    for (const auto &[BufName, Ref] : Instance.Buffers)
+      Signature.push_back(BufferBinding::fromRef(BufName, Ref));
+    CodeGenOptions Options;
+    Options.EnableNonTemporal = !Args.has("no-nti");
+    auto Lowered = lowerPipeline(Instance);
+    for (size_t S = 0; S != Lowered.size(); ++S) {
+      std::printf("/* ---- stage %zu ---- */\n", S);
+      std::printf("%s\n",
+                  generateC(Lowered[S], Signature, "ltp_kernel", Options)
+                      .c_str());
+    }
+  }
+
+  if (Args.has("simulate")) {
+    std::printf("simulating on the %s configuration...\n",
+                Arch.Name.c_str());
+    SimResult Sim = simulatePipeline(Instance, Arch);
+    std::printf("  accesses      : %llu\n",
+                static_cast<unsigned long long>(Sim.Accesses));
+    std::printf("  L1 miss rate  : %.3f%% (prefetch hits %llu)\n",
+                100.0 * Sim.Stats.L1.missRate(),
+                static_cast<unsigned long long>(Sim.Stats.L1.PrefetchHits));
+    std::printf("  L2 miss rate  : %.3f%%\n",
+                100.0 * Sim.Stats.L2.missRate());
+    std::printf("  DRAM lines    : %llu\n",
+                static_cast<unsigned long long>(Sim.Stats.memoryTraffic()));
+    std::printf("  est. cycles   : %.4g\n\n", Sim.EstimatedCycles);
+  }
+
+  if (Args.has("run")) {
+    if (!jitAvailable()) {
+      std::fprintf(stderr, "error: no host C compiler for --run\n");
+      return 1;
+    }
+    JITCompiler Compiler;
+    CodeGenOptions Options;
+    Options.EnableNonTemporal = !Args.has("no-nti");
+    auto Pipeline = compilePipeline(Instance, Compiler, Options);
+    if (!Pipeline) {
+      std::fprintf(stderr, "error: %s\n", Pipeline.getError().c_str());
+      return 1;
+    }
+    Pipeline->run(Instance);
+    double Seconds = timeBestOf(3, [&] { Pipeline->run(Instance); });
+    std::printf("wall clock: %.3f ms", Seconds * 1e3);
+    if (Instance.Work > 0)
+      std::printf("  (%.2f Gop/s)", Instance.Work / Seconds * 1e-9);
+    std::printf("\n");
+  }
+  return 0;
+}
