@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_autotuner.dir/fig5_autotuner.cpp.o"
+  "CMakeFiles/fig5_autotuner.dir/fig5_autotuner.cpp.o.d"
+  "fig5_autotuner"
+  "fig5_autotuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_nti.dir/fig6_nti.cpp.o"
+  "CMakeFiles/fig6_nti.dir/fig6_nti.cpp.o.d"
+  "fig6_nti"
+  "fig6_nti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_nti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_arm.dir/fig7_arm.cpp.o"
+  "CMakeFiles/fig7_arm.dir/fig7_arm.cpp.o.d"
+  "fig7_arm"
+  "fig7_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_bench_harness.dir/Harness.cpp.o"
+  "CMakeFiles/ltp_bench_harness.dir/Harness.cpp.o.d"
+  "libltp_bench_harness.a"
+  "libltp_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_best_times.dir/table4_best_times.cpp.o"
+  "CMakeFiles/table4_best_times.dir/table4_best_times.cpp.o.d"
+  "table4_best_times"
+  "table4_best_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_best_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

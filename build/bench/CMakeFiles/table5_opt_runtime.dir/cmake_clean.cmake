@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_opt_runtime.dir/table5_opt_runtime.cpp.o"
+  "CMakeFiles/table5_opt_runtime.dir/table5_opt_runtime.cpp.o.d"
+  "table5_opt_runtime"
+  "table5_opt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_opt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

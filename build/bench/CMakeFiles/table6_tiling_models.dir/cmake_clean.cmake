@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_tiling_models.dir/table6_tiling_models.cpp.o"
+  "CMakeFiles/table6_tiling_models.dir/table6_tiling_models.cpp.o.d"
+  "table6_tiling_models"
+  "table6_tiling_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_tiling_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

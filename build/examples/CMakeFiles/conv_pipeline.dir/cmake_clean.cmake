@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_pipeline.dir/conv_pipeline.cpp.o"
+  "CMakeFiles/conv_pipeline.dir/conv_pipeline.cpp.o.d"
+  "conv_pipeline"
+  "conv_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_streaming.dir/transpose_streaming.cpp.o"
+  "CMakeFiles/transpose_streaming.dir/transpose_streaming.cpp.o.d"
+  "transpose_streaming"
+  "transpose_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_arch.dir/ArchFile.cpp.o"
+  "CMakeFiles/ltp_arch.dir/ArchFile.cpp.o.d"
+  "CMakeFiles/ltp_arch.dir/ArchParams.cpp.o"
+  "CMakeFiles/ltp_arch.dir/ArchParams.cpp.o.d"
+  "libltp_arch.a"
+  "libltp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

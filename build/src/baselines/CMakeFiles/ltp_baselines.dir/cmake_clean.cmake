@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_baselines.dir/Autotuner.cpp.o"
+  "CMakeFiles/ltp_baselines.dir/Autotuner.cpp.o.d"
+  "CMakeFiles/ltp_baselines.dir/Baselines.cpp.o"
+  "CMakeFiles/ltp_baselines.dir/Baselines.cpp.o.d"
+  "libltp_baselines.a"
+  "libltp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_benchmarks.dir/Benchmarks.cpp.o"
+  "CMakeFiles/ltp_benchmarks.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/ltp_benchmarks.dir/ExtendedBenchmarks.cpp.o"
+  "CMakeFiles/ltp_benchmarks.dir/ExtendedBenchmarks.cpp.o.d"
+  "CMakeFiles/ltp_benchmarks.dir/PipelineRunner.cpp.o"
+  "CMakeFiles/ltp_benchmarks.dir/PipelineRunner.cpp.o.d"
+  "libltp_benchmarks.a"
+  "libltp_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

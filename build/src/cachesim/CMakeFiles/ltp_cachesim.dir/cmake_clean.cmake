@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_cachesim.dir/Cache.cpp.o"
+  "CMakeFiles/ltp_cachesim.dir/Cache.cpp.o.d"
+  "CMakeFiles/ltp_cachesim.dir/Hierarchy.cpp.o"
+  "CMakeFiles/ltp_cachesim.dir/Hierarchy.cpp.o.d"
+  "CMakeFiles/ltp_cachesim.dir/TraceRunner.cpp.o"
+  "CMakeFiles/ltp_cachesim.dir/TraceRunner.cpp.o.d"
+  "libltp_cachesim.a"
+  "libltp_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

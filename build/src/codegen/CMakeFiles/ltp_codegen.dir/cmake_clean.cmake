@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_codegen.dir/CodeGenC.cpp.o"
+  "CMakeFiles/ltp_codegen.dir/CodeGenC.cpp.o.d"
+  "libltp_codegen.a"
+  "libltp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

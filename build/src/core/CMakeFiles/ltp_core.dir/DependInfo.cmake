@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AccessInfo.cpp" "src/core/CMakeFiles/ltp_core.dir/AccessInfo.cpp.o" "gcc" "src/core/CMakeFiles/ltp_core.dir/AccessInfo.cpp.o.d"
+  "/root/repo/src/core/CacheEmu.cpp" "src/core/CMakeFiles/ltp_core.dir/CacheEmu.cpp.o" "gcc" "src/core/CMakeFiles/ltp_core.dir/CacheEmu.cpp.o.d"
+  "/root/repo/src/core/Classifier.cpp" "src/core/CMakeFiles/ltp_core.dir/Classifier.cpp.o" "gcc" "src/core/CMakeFiles/ltp_core.dir/Classifier.cpp.o.d"
+  "/root/repo/src/core/CostModel.cpp" "src/core/CMakeFiles/ltp_core.dir/CostModel.cpp.o" "gcc" "src/core/CMakeFiles/ltp_core.dir/CostModel.cpp.o.d"
+  "/root/repo/src/core/Optimizer.cpp" "src/core/CMakeFiles/ltp_core.dir/Optimizer.cpp.o" "gcc" "src/core/CMakeFiles/ltp_core.dir/Optimizer.cpp.o.d"
+  "/root/repo/src/core/SpatialOptimizer.cpp" "src/core/CMakeFiles/ltp_core.dir/SpatialOptimizer.cpp.o" "gcc" "src/core/CMakeFiles/ltp_core.dir/SpatialOptimizer.cpp.o.d"
+  "/root/repo/src/core/TemporalOptimizer.cpp" "src/core/CMakeFiles/ltp_core.dir/TemporalOptimizer.cpp.o" "gcc" "src/core/CMakeFiles/ltp_core.dir/TemporalOptimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/ltp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ltp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ltp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ltp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

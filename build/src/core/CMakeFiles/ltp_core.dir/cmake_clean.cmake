@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_core.dir/AccessInfo.cpp.o"
+  "CMakeFiles/ltp_core.dir/AccessInfo.cpp.o.d"
+  "CMakeFiles/ltp_core.dir/CacheEmu.cpp.o"
+  "CMakeFiles/ltp_core.dir/CacheEmu.cpp.o.d"
+  "CMakeFiles/ltp_core.dir/Classifier.cpp.o"
+  "CMakeFiles/ltp_core.dir/Classifier.cpp.o.d"
+  "CMakeFiles/ltp_core.dir/CostModel.cpp.o"
+  "CMakeFiles/ltp_core.dir/CostModel.cpp.o.d"
+  "CMakeFiles/ltp_core.dir/Optimizer.cpp.o"
+  "CMakeFiles/ltp_core.dir/Optimizer.cpp.o.d"
+  "CMakeFiles/ltp_core.dir/SpatialOptimizer.cpp.o"
+  "CMakeFiles/ltp_core.dir/SpatialOptimizer.cpp.o.d"
+  "CMakeFiles/ltp_core.dir/TemporalOptimizer.cpp.o"
+  "CMakeFiles/ltp_core.dir/TemporalOptimizer.cpp.o.d"
+  "libltp_core.a"
+  "libltp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

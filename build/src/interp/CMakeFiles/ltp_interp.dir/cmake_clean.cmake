@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/ltp_interp.dir/Interpreter.cpp.o.d"
+  "libltp_interp.a"
+  "libltp_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Expr.cpp" "src/ir/CMakeFiles/ltp_ir.dir/Expr.cpp.o" "gcc" "src/ir/CMakeFiles/ltp_ir.dir/Expr.cpp.o.d"
+  "/root/repo/src/ir/IRMutator.cpp" "src/ir/CMakeFiles/ltp_ir.dir/IRMutator.cpp.o" "gcc" "src/ir/CMakeFiles/ltp_ir.dir/IRMutator.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/ir/CMakeFiles/ltp_ir.dir/IRPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/ltp_ir.dir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/IRVisitor.cpp" "src/ir/CMakeFiles/ltp_ir.dir/IRVisitor.cpp.o" "gcc" "src/ir/CMakeFiles/ltp_ir.dir/IRVisitor.cpp.o.d"
+  "/root/repo/src/ir/Simplify.cpp" "src/ir/CMakeFiles/ltp_ir.dir/Simplify.cpp.o" "gcc" "src/ir/CMakeFiles/ltp_ir.dir/Simplify.cpp.o.d"
+  "/root/repo/src/ir/Stmt.cpp" "src/ir/CMakeFiles/ltp_ir.dir/Stmt.cpp.o" "gcc" "src/ir/CMakeFiles/ltp_ir.dir/Stmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ltp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_ir.dir/Expr.cpp.o"
+  "CMakeFiles/ltp_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/ltp_ir.dir/IRMutator.cpp.o"
+  "CMakeFiles/ltp_ir.dir/IRMutator.cpp.o.d"
+  "CMakeFiles/ltp_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/ltp_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/ltp_ir.dir/IRVisitor.cpp.o"
+  "CMakeFiles/ltp_ir.dir/IRVisitor.cpp.o.d"
+  "CMakeFiles/ltp_ir.dir/Simplify.cpp.o"
+  "CMakeFiles/ltp_ir.dir/Simplify.cpp.o.d"
+  "CMakeFiles/ltp_ir.dir/Stmt.cpp.o"
+  "CMakeFiles/ltp_ir.dir/Stmt.cpp.o.d"
+  "libltp_ir.a"
+  "libltp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

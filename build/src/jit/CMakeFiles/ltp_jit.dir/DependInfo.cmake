@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jit/JIT.cpp" "src/jit/CMakeFiles/ltp_jit.dir/JIT.cpp.o" "gcc" "src/jit/CMakeFiles/ltp_jit.dir/JIT.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/ltp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ltp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ltp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ltp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_jit.dir/JIT.cpp.o"
+  "CMakeFiles/ltp_jit.dir/JIT.cpp.o.d"
+  "libltp_jit.a"
+  "libltp_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

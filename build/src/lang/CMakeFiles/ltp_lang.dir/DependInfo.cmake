@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/Bounds.cpp" "src/lang/CMakeFiles/ltp_lang.dir/Bounds.cpp.o" "gcc" "src/lang/CMakeFiles/ltp_lang.dir/Bounds.cpp.o.d"
+  "/root/repo/src/lang/Expr.cpp" "src/lang/CMakeFiles/ltp_lang.dir/Expr.cpp.o" "gcc" "src/lang/CMakeFiles/ltp_lang.dir/Expr.cpp.o.d"
+  "/root/repo/src/lang/Func.cpp" "src/lang/CMakeFiles/ltp_lang.dir/Func.cpp.o" "gcc" "src/lang/CMakeFiles/ltp_lang.dir/Func.cpp.o.d"
+  "/root/repo/src/lang/Lower.cpp" "src/lang/CMakeFiles/ltp_lang.dir/Lower.cpp.o" "gcc" "src/lang/CMakeFiles/ltp_lang.dir/Lower.cpp.o.d"
+  "/root/repo/src/lang/ScheduleText.cpp" "src/lang/CMakeFiles/ltp_lang.dir/ScheduleText.cpp.o" "gcc" "src/lang/CMakeFiles/ltp_lang.dir/ScheduleText.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ltp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ltp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_lang.dir/Bounds.cpp.o"
+  "CMakeFiles/ltp_lang.dir/Bounds.cpp.o.d"
+  "CMakeFiles/ltp_lang.dir/Expr.cpp.o"
+  "CMakeFiles/ltp_lang.dir/Expr.cpp.o.d"
+  "CMakeFiles/ltp_lang.dir/Func.cpp.o"
+  "CMakeFiles/ltp_lang.dir/Func.cpp.o.d"
+  "CMakeFiles/ltp_lang.dir/Lower.cpp.o"
+  "CMakeFiles/ltp_lang.dir/Lower.cpp.o.d"
+  "CMakeFiles/ltp_lang.dir/ScheduleText.cpp.o"
+  "CMakeFiles/ltp_lang.dir/ScheduleText.cpp.o.d"
+  "libltp_lang.a"
+  "libltp_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_runtime.dir/NonTemporal.cpp.o"
+  "CMakeFiles/ltp_runtime.dir/NonTemporal.cpp.o.d"
+  "CMakeFiles/ltp_runtime.dir/ThreadPool.cpp.o"
+  "CMakeFiles/ltp_runtime.dir/ThreadPool.cpp.o.d"
+  "libltp_runtime.a"
+  "libltp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

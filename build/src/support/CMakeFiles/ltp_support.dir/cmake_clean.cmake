@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_support.dir/ArgParse.cpp.o"
+  "CMakeFiles/ltp_support.dir/ArgParse.cpp.o.d"
+  "CMakeFiles/ltp_support.dir/Format.cpp.o"
+  "CMakeFiles/ltp_support.dir/Format.cpp.o.d"
+  "libltp_support.a"
+  "libltp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "ArchTest"
+  "ArchTest.pdb"
+  "ArchTest[1]_tests.cmake"
+  "CMakeFiles/ArchTest.dir/ArchTest.cpp.o"
+  "CMakeFiles/ArchTest.dir/ArchTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ArchTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BoundsTest"
+  "BoundsTest.pdb"
+  "BoundsTest[1]_tests.cmake"
+  "CMakeFiles/BoundsTest.dir/BoundsTest.cpp.o"
+  "CMakeFiles/BoundsTest.dir/BoundsTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BoundsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for BoundsTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CostModelTest.dir/CostModelTest.cpp.o"
+  "CMakeFiles/CostModelTest.dir/CostModelTest.cpp.o.d"
+  "CostModelTest"
+  "CostModelTest.pdb"
+  "CostModelTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CostModelTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for CostModelTest.
+# This may be replaced when dependencies are built.

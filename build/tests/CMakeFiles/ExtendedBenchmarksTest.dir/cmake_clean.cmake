@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExtendedBenchmarksTest.dir/ExtendedBenchmarksTest.cpp.o"
+  "CMakeFiles/ExtendedBenchmarksTest.dir/ExtendedBenchmarksTest.cpp.o.d"
+  "ExtendedBenchmarksTest"
+  "ExtendedBenchmarksTest.pdb"
+  "ExtendedBenchmarksTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExtendedBenchmarksTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

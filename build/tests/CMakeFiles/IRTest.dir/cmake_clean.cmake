@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/IRTest.dir/IRTest.cpp.o"
+  "CMakeFiles/IRTest.dir/IRTest.cpp.o.d"
+  "IRTest"
+  "IRTest.pdb"
+  "IRTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/IRTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

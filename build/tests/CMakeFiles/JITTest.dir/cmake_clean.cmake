@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/JITTest.dir/JITTest.cpp.o"
+  "CMakeFiles/JITTest.dir/JITTest.cpp.o.d"
+  "JITTest"
+  "JITTest.pdb"
+  "JITTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/JITTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LangLowerTest.dir/LangLowerTest.cpp.o"
+  "CMakeFiles/LangLowerTest.dir/LangLowerTest.cpp.o.d"
+  "LangLowerTest"
+  "LangLowerTest.pdb"
+  "LangLowerTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LangLowerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ModelValidationTest.dir/ModelValidationTest.cpp.o"
+  "CMakeFiles/ModelValidationTest.dir/ModelValidationTest.cpp.o.d"
+  "ModelValidationTest"
+  "ModelValidationTest.pdb"
+  "ModelValidationTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ModelValidationTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/OptimizerTest.dir/OptimizerTest.cpp.o"
+  "CMakeFiles/OptimizerTest.dir/OptimizerTest.cpp.o.d"
+  "OptimizerTest"
+  "OptimizerTest.pdb"
+  "OptimizerTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/OptimizerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

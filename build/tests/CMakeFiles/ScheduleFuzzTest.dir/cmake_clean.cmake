@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ScheduleFuzzTest.dir/ScheduleFuzzTest.cpp.o"
+  "CMakeFiles/ScheduleFuzzTest.dir/ScheduleFuzzTest.cpp.o.d"
+  "ScheduleFuzzTest"
+  "ScheduleFuzzTest.pdb"
+  "ScheduleFuzzTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ScheduleFuzzTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

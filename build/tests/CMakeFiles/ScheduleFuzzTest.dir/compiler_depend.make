@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ScheduleFuzzTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ScheduleTextTest.dir/ScheduleTextTest.cpp.o"
+  "CMakeFiles/ScheduleTextTest.dir/ScheduleTextTest.cpp.o.d"
+  "ScheduleTextTest"
+  "ScheduleTextTest.pdb"
+  "ScheduleTextTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ScheduleTextTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

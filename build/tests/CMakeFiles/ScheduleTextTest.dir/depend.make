@@ -1,0 +1,2 @@
+# Empty dependencies file for ScheduleTextTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/LangLowerTest[1]_include.cmake")
+include("/root/repo/build/tests/JITTest[1]_include.cmake")
+include("/root/repo/build/tests/OptimizerTest[1]_include.cmake")
+include("/root/repo/build/tests/BaselinesTest[1]_include.cmake")
+include("/root/repo/build/tests/RuntimeTest[1]_include.cmake")
+include("/root/repo/build/tests/CostModelTest[1]_include.cmake")
+include("/root/repo/build/tests/CacheSimTest[1]_include.cmake")
+include("/root/repo/build/tests/IRTest[1]_include.cmake")
+include("/root/repo/build/tests/CodegenTest[1]_include.cmake")
+include("/root/repo/build/tests/ScheduleFuzzTest[1]_include.cmake")
+include("/root/repo/build/tests/InterpreterTest[1]_include.cmake")
+include("/root/repo/build/tests/ScheduleTextTest[1]_include.cmake")
+include("/root/repo/build/tests/ExtendedBenchmarksTest[1]_include.cmake")
+include("/root/repo/build/tests/BoundsTest[1]_include.cmake")
+include("/root/repo/build/tests/ModelValidationTest[1]_include.cmake")
+include("/root/repo/build/tests/ArchTest[1]_include.cmake")
+include("/root/repo/build/tests/InlineTest[1]_include.cmake")
+include("/root/repo/build/tests/DeterminismTest[1]_include.cmake")

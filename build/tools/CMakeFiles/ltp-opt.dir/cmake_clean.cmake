@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp-opt.dir/ltp-opt.cpp.o"
+  "CMakeFiles/ltp-opt.dir/ltp-opt.cpp.o.d"
+  "ltp-opt"
+  "ltp-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

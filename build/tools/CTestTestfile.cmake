@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(LtpOptSchedulesMatmul "/root/repo/build/tools/ltp-opt" "matmul" "--size" "64" "--arch" "6700")
+set_tests_properties(LtpOptSchedulesMatmul PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(LtpOptSimulatesOnA15 "/root/repo/build/tools/ltp-opt" "copy" "--size" "64" "--arch" "a15" "--simulate")
+set_tests_properties(LtpOptSimulatesOnA15 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(LtpOptReplaysUserSchedule "/root/repo/build/tools/ltp-opt" "matmul" "--size" "48" "--schedule" "split(i, it, ii, 8); parallel(it);")
+set_tests_properties(LtpOptReplaysUserSchedule PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(LtpOptLoadsArchFile "/root/repo/build/tools/ltp-opt" "copy" "--size" "64" "--arch-file" "/root/repo/platforms/arm-cortex-a15.conf")
+set_tests_properties(LtpOptLoadsArchFile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(LtpOptRejectsUnknownBenchmark "/root/repo/build/tools/ltp-opt" "frobnicate")
+set_tests_properties(LtpOptRejectsUnknownBenchmark PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(LtpOptRejectsUnknownLoopName "/root/repo/build/tools/ltp-opt" "copy" "--size" "64" "--schedule" "parallel(zebra)")
+set_tests_properties(LtpOptRejectsUnknownLoopName PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(LtpOptRejectsMissingArchFile "/root/repo/build/tools/ltp-opt" "matmul" "--arch-file" "/nonexistent.conf")
+set_tests_properties(LtpOptRejectsMissingArchFile PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
