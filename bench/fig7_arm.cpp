@@ -19,6 +19,7 @@
 #include "support/Format.h"
 
 #include <cstdio>
+#include <deque>
 
 using namespace ltp;
 using namespace ltp::bench;
@@ -59,37 +60,45 @@ int main(int Argc, char **Argv) {
             "dram-lines"},
            Widths);
 
+  // Scheduling is serial (it mutates Func state); the simulations are
+  // independent (benchmark x scheduler) jobs with private buffers, so
+  // they fan out across the thread pool in one simulateMany batch.
   JITCompiler Compiler;
-  for (const char *Name : {"doitgen", "matmul", "convlayer", "gemm", "3mm",
-                           "trmm", "syrk", "syr2k", "tp", "tpm"}) {
+  const std::vector<const char *> Names = {"doitgen", "matmul", "convlayer",
+                                           "gemm",    "3mm",    "trmm",
+                                           "syrk",    "syr2k",  "tp",
+                                           "tpm"};
+  std::deque<BenchmarkInstance> Instances; // stable addresses for the jobs
+  std::vector<PipelineSimJob> Jobs;
+  for (const char *Name : Names) {
     const BenchmarkDef *Def = findBenchmark(Name);
     int64_t Size = Args.has("paper") ? Def->DefaultSize : simSize(Name);
     if (Args.has("size"))
       Size = Args.getInt("size", Size);
-
-    struct Row {
-      Scheduler S;
-      SimResult Sim;
-    };
-    std::vector<Row> Rows;
-    double BestCycles = -1.0;
     for (Scheduler S : Schedulers) {
-      BenchmarkInstance Instance = Def->Create(Size);
-      applyScheduler(Instance, S, Arch, &Compiler);
-      SimResult Sim = simulatePipeline(Instance, Arch);
-      if (BestCycles < 0.0 || Sim.EstimatedCycles < BestCycles)
-        BestCycles = Sim.EstimatedCycles;
-      Rows.push_back({S, Sim});
+      Instances.push_back(Def->Create(Size));
+      applyScheduler(Instances.back(), S, Arch, &Compiler);
+      Jobs.push_back({&Instances.back(), Arch});
     }
-    for (const Row &R : Rows) {
-      printRow(
-          {Name, schedulerName(R.S),
-           strFormat("%.4g", R.Sim.EstimatedCycles),
-           strFormat("%.3f", BestCycles / R.Sim.EstimatedCycles),
-           strFormat("%.2f", 100.0 * R.Sim.Stats.L1.missRate()),
-           strFormat("%llu", static_cast<unsigned long long>(
-                                 R.Sim.Stats.memoryTraffic()))},
-          Widths);
+  }
+  std::vector<SimResult> Sims = simulatePipelines(Jobs);
+
+  size_t Job = 0;
+  for (const char *Name : Names) {
+    double BestCycles = -1.0;
+    for (size_t K = 0; K != Schedulers.size(); ++K) {
+      double Cycles = Sims[Job + K].EstimatedCycles;
+      if (BestCycles < 0.0 || Cycles < BestCycles)
+        BestCycles = Cycles;
+    }
+    for (Scheduler S : Schedulers) {
+      const SimResult &Sim = Sims[Job++];
+      printRow({Name, schedulerName(S), strFormat("%.4g", Sim.EstimatedCycles),
+                strFormat("%.3f", BestCycles / Sim.EstimatedCycles),
+                strFormat("%.2f", 100.0 * Sim.Stats.L1.missRate()),
+                strFormat("%llu", static_cast<unsigned long long>(
+                                      Sim.Stats.memoryTraffic()))},
+               Widths);
     }
     std::printf("\n");
   }

@@ -260,4 +260,6 @@ bench/CMakeFiles/ablation_model.dir/ablation_model.cpp.o: \
  /root/repo/src/cachesim/TraceRunner.h \
  /root/repo/src/cachesim/Hierarchy.h /root/repo/src/cachesim/Cache.h \
  /root/repo/src/interp/Interpreter.h /root/repo/src/support/ArgParse.h \
- /root/repo/src/lang/Lower.h /root/repo/src/support/Format.h
+ /root/repo/src/lang/Lower.h /root/repo/src/support/Format.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc

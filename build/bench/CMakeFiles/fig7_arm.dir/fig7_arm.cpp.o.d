@@ -260,4 +260,5 @@ bench/CMakeFiles/fig7_arm.dir/fig7_arm.cpp.o: \
  /root/repo/src/cachesim/TraceRunner.h \
  /root/repo/src/cachesim/Hierarchy.h /root/repo/src/cachesim/Cache.h \
  /root/repo/src/interp/Interpreter.h /root/repo/src/support/ArgParse.h \
- /root/repo/src/support/Format.h
+ /root/repo/src/support/Format.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc

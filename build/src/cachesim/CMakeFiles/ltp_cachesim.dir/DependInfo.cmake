@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachesim/AccessProgram.cpp" "src/cachesim/CMakeFiles/ltp_cachesim.dir/AccessProgram.cpp.o" "gcc" "src/cachesim/CMakeFiles/ltp_cachesim.dir/AccessProgram.cpp.o.d"
   "/root/repo/src/cachesim/Cache.cpp" "src/cachesim/CMakeFiles/ltp_cachesim.dir/Cache.cpp.o" "gcc" "src/cachesim/CMakeFiles/ltp_cachesim.dir/Cache.cpp.o.d"
   "/root/repo/src/cachesim/Hierarchy.cpp" "src/cachesim/CMakeFiles/ltp_cachesim.dir/Hierarchy.cpp.o" "gcc" "src/cachesim/CMakeFiles/ltp_cachesim.dir/Hierarchy.cpp.o.d"
   "/root/repo/src/cachesim/TraceRunner.cpp" "src/cachesim/CMakeFiles/ltp_cachesim.dir/TraceRunner.cpp.o" "gcc" "src/cachesim/CMakeFiles/ltp_cachesim.dir/TraceRunner.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/ltp_cachesim.dir/AccessProgram.cpp.o"
+  "CMakeFiles/ltp_cachesim.dir/AccessProgram.cpp.o.d"
   "CMakeFiles/ltp_cachesim.dir/Cache.cpp.o"
   "CMakeFiles/ltp_cachesim.dir/Cache.cpp.o.d"
   "CMakeFiles/ltp_cachesim.dir/Hierarchy.cpp.o"

@@ -211,5 +211,10 @@ src/runtime/CMakeFiles/ltp_runtime.dir/ThreadPool.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /usr/include/c++/12/cassert \
+ /usr/include/c++/12/thread /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cassert \
  /usr/include/assert.h

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AccessProgramTest.cpp" "tests/CMakeFiles/AccessProgramTest.dir/AccessProgramTest.cpp.o" "gcc" "tests/CMakeFiles/AccessProgramTest.dir/AccessProgramTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cachesim/CMakeFiles/ltp_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ltp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/ltp_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ltp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ltp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ltp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/ltp_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/ltp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ltp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ltp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ltp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

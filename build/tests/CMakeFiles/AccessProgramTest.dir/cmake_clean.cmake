@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "AccessProgramTest"
+  "AccessProgramTest.pdb"
+  "AccessProgramTest[1]_tests.cmake"
+  "CMakeFiles/AccessProgramTest.dir/AccessProgramTest.cpp.o"
+  "CMakeFiles/AccessProgramTest.dir/AccessProgramTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AccessProgramTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for AccessProgramTest.
+# This may be replaced when dependencies are built.

@@ -11,6 +11,7 @@ include("/root/repo/build/tests/BaselinesTest[1]_include.cmake")
 include("/root/repo/build/tests/RuntimeTest[1]_include.cmake")
 include("/root/repo/build/tests/CostModelTest[1]_include.cmake")
 include("/root/repo/build/tests/CacheSimTest[1]_include.cmake")
+include("/root/repo/build/tests/AccessProgramTest[1]_include.cmake")
 include("/root/repo/build/tests/IRTest[1]_include.cmake")
 include("/root/repo/build/tests/CodegenTest[1]_include.cmake")
 include("/root/repo/build/tests/ScheduleFuzzTest[1]_include.cmake")

@@ -74,30 +74,24 @@ ltp::compilePipeline(const BenchmarkInstance &Instance,
 }
 
 SimResult ltp::simulatePipeline(const BenchmarkInstance &Instance,
-                                const ArchParams &Arch) {
-  MemoryHierarchy Hierarchy(Arch);
-  uint64_t Accesses = 0;
-  InterpOptions Options;
-  Options.Hook = [&](AccessKind Kind, uint64_t Address, uint32_t Size) {
-    ++Accesses;
-    switch (Kind) {
-    case AccessKind::Load:
-      Hierarchy.load(Address, Size);
-      return;
-    case AccessKind::Store:
-      Hierarchy.store(Address, Size, /*NonTemporal=*/false);
-      return;
-    case AccessKind::NonTemporalStore:
-      Hierarchy.store(Address, Size, /*NonTemporal=*/true);
-      return;
-    }
-  };
-  for (const ir::StmtPtr &S : lowerPipeline(Instance))
-    interpret(S, Instance.Buffers, Options);
+                                const ArchParams &Arch, SimEngine Engine) {
+  return simulate(lowerPipeline(Instance), Instance.Buffers, Arch,
+                  LatencyModel(), Engine);
+}
 
-  SimResult Result;
-  Result.Stats = Hierarchy.stats();
-  Result.EstimatedCycles = Hierarchy.estimatedCycles();
-  Result.Accesses = Accesses;
-  return Result;
+std::vector<SimResult>
+ltp::simulatePipelines(const std::vector<PipelineSimJob> &Jobs,
+                       SimEngine Engine) {
+  // Lowering mutates shared Func schedule state and asserts on bad
+  // bounds; keep it serial and feed the thread pool pure simulations.
+  std::vector<SimJob> SimJobs(Jobs.size());
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    const PipelineSimJob &Job = Jobs[I];
+    assert(Job.Instance && "job without an instance");
+    SimJobs[I].Stmts = lowerPipeline(*Job.Instance);
+    checkBounds(SimJobs[I].Stmts, Job.Instance->Buffers);
+    SimJobs[I].Buffers = &Job.Instance->Buffers;
+    SimJobs[I].Arch = Job.Arch;
+  }
+  return simulateMany(SimJobs, Engine);
 }

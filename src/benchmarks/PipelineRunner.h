@@ -46,9 +46,26 @@ compilePipeline(const BenchmarkInstance &Instance, JITCompiler &Compiler,
                 const CodeGenOptions &Options = CodeGenOptions());
 
 /// Runs the pipeline through the cache simulator configured from \p Arch
-/// and returns the merged miss profile.
+/// and returns the merged miss profile. Uses the compiled access-program
+/// fast path when the lowered stages admit one, falling back to the
+/// interpreter transparently (identical statistics either way).
 SimResult simulatePipeline(const BenchmarkInstance &Instance,
-                           const ArchParams &Arch);
+                           const ArchParams &Arch,
+                           SimEngine Engine = SimEngine::Auto);
+
+/// One (scheduled instance, platform) simulation of a sweep.
+struct PipelineSimJob {
+  const BenchmarkInstance *Instance = nullptr;
+  ArchParams Arch;
+};
+
+/// Simulates every job across the global thread pool (lowering and
+/// bounds-checking run serially up front). Results are in job order.
+/// Instances must be distinct objects: a simulation may write the
+/// instance's buffers when it takes the interpreter path.
+std::vector<SimResult>
+simulatePipelines(const std::vector<PipelineSimJob> &Jobs,
+                  SimEngine Engine = SimEngine::Auto);
 
 } // namespace ltp
 

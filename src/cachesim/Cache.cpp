@@ -147,6 +147,22 @@ bool CacheLevel::fill(uint64_t LineAddr, bool IsPrefetch, bool Dirty) {
   return EvictedDirty;
 }
 
+void CacheLevel::addRepeatHits(const uint64_t *LineAddrs, size_t N,
+                               uint64_t Count) {
+  Stats.DemandHits += Count;
+  // Each repeated hit bumped the clock once and re-touched its line; the
+  // surviving LastUse values are those of the final iteration, occupying
+  // the last N ticks in program order.
+  Clock += Count - static_cast<uint64_t>(N);
+  for (size_t K = 0; K != N; ++K) {
+    ++Clock;
+    uint64_t Set = LineAddrs[K] % static_cast<uint64_t>(NumSets);
+    Line *L = findLine(LineAddrs[K]);
+    assert(L && "repeat retirement requires a resident line");
+    touch(Set, L - &Lines[Set * Params.Ways]);
+  }
+}
+
 void CacheLevel::invalidate(uint64_t LineAddr) {
   if (Line *L = findLine(LineAddr))
     L->Valid = false;

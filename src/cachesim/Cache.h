@@ -78,6 +78,16 @@ public:
   const CacheLevelStats &stats() const { return Stats; }
   void resetStats() { Stats = CacheLevelStats(); }
 
+  /// Credits \p Count demand hits that are pure repeats of an
+  /// already-issued element-wise iteration touching \p LineAddrs (the
+  /// demand lines of that iteration, in program order, \p N of them, so
+  /// Count = N * repeats). Besides the counter, this replays the recency
+  /// effect of the repeats exactly: every repeated access advanced the
+  /// clock by one and re-touched its (resident) line, so the end state
+  /// equals advancing the clock by Count with the final iteration's
+  /// touches laid out on the last N ticks (see AccessProgram.h).
+  void addRepeatHits(const uint64_t *LineAddrs, size_t N, uint64_t Count);
+
   /// Dirty lines currently resident (write-backs that must eventually
   /// reach memory).
   uint64_t countDirtyLines() const;

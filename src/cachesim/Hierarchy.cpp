@@ -154,6 +154,34 @@ void MemoryHierarchy::store(uint64_t Address, uint32_t SizeBytes,
   }
 }
 
+bool MemoryHierarchy::repeatHitReady(uint64_t LineAddr) const {
+  if (!L1->probe(LineAddr))
+    return false;
+  // A repeat would re-run the next-line prefetch probe; it is only free
+  // of side effects (counters, fills) when the successor is resident too.
+  if (Arch.L1NextLinePrefetcher && !L1->probe(LineAddr + 1))
+    return false;
+  return true;
+}
+
+void MemoryHierarchy::retireRepeatHits(const uint64_t *Lines,
+                                       size_t NumLines, uint64_t Repeats) {
+  L1->addRepeatHits(Lines, NumLines, NumLines * Repeats);
+}
+
+void MemoryHierarchy::retireRepeatNonTemporal(uint64_t LineAddr,
+                                              uint64_t Count,
+                                              uint64_t Bytes) {
+  // One sweep covers all repeats: invalidation is idempotent and nothing
+  // refills the line between repeated bypassing stores.
+  L1->invalidate(LineAddr);
+  L2->invalidate(LineAddr);
+  if (L3)
+    L3->invalidate(LineAddr);
+  NonTemporalStores += Count;
+  NTBytes += Bytes;
+}
+
 HierarchyStats MemoryHierarchy::stats() const {
   HierarchyStats S;
   S.L1 = L1->stats();

@@ -34,9 +34,9 @@
 #include "cachesim/Cache.h"
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 namespace ltp {
 
@@ -97,6 +97,31 @@ public:
 
   bool hasL3() const { return L3 != nullptr; }
 
+  int64_t lineBytes() const { return LineBytes; }
+
+  /// True when a repeat of a demand access to \p LineAddr would be a pure
+  /// L1 hit with no observable side effect beyond the hit counter: the
+  /// line is resident in L1 and, when the next-line prefetcher is on, so
+  /// is its successor (making the prefetch probe a no-op). Used by the
+  /// access-program fast path to retire same-line runs in O(1); see
+  /// AccessProgram.h for the equivalence argument.
+  bool repeatHitReady(uint64_t LineAddr) const;
+
+  /// Credits \p Repeats pure-repeat L1 demand hits of one element-wise
+  /// iteration whose demand lines are \p Lines (\p NumLines of them, in
+  /// program order) without replaying them individually. Only valid when
+  /// repeatHitReady() held for every line and the element-wise iteration
+  /// has already been issued; recency is updated so the end state is
+  /// bit-identical to replaying the repeats.
+  void retireRepeatHits(const uint64_t *Lines, size_t NumLines,
+                        uint64_t Repeats);
+
+  /// Retires \p Count repeated non-temporal stores of \p Bytes total to a
+  /// single line: one invalidation sweep (idempotent for the repeats) plus
+  /// the bypass counters the element-wise path would have accumulated.
+  void retireRepeatNonTemporal(uint64_t LineAddr, uint64_t Count,
+                               uint64_t Bytes);
+
 private:
   void demandAccess(uint64_t LineAddr);
   void l1NextLinePrefetch(uint64_t LineAddr);
@@ -116,7 +141,71 @@ private:
     /// in lines (bounded by L2MaxPrefetchDistance).
     int64_t Ahead = 0;
   };
-  std::map<uint64_t, Stream> Streams;
+
+  /// Open-addressing flat table mapping 4KB pages to stream state. The
+  /// streamer consults this on every L1 miss, so it sits on the simulator
+  /// hot path; linear probing over a power-of-two array beats the old
+  /// node-based std::map by avoiding an allocation and a pointer chase
+  /// per lookup. Pages are never erased individually (matching the map's
+  /// lifetime behaviour), so no tombstones are needed.
+  class StreamTable {
+  public:
+    StreamTable() : Slots(64) {}
+
+    /// Returns the stream for \p Page, default-constructing it on first
+    /// touch (same semantics as std::map::operator[]).
+    Stream &operator[](uint64_t Page) {
+      if ((Used + 1) * 4 > Slots.size() * 3)
+        grow();
+      size_t I = indexOf(Page);
+      if (!Slots[I].Occupied) {
+        Slots[I].Occupied = true;
+        Slots[I].Page = Page;
+        Slots[I].S = Stream();
+        ++Used;
+      }
+      return Slots[I].S;
+    }
+
+  private:
+    struct Slot {
+      uint64_t Page = 0;
+      bool Occupied = false;
+      Stream S;
+    };
+
+    static uint64_t hash(uint64_t X) {
+      // splitmix64 finalizer: cheap, full-avalanche.
+      X += 0x9e3779b97f4a7c15ULL;
+      X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+      return X ^ (X >> 31);
+    }
+
+    size_t indexOf(uint64_t Page) const {
+      size_t Mask = Slots.size() - 1;
+      size_t I = static_cast<size_t>(hash(Page)) & Mask;
+      while (Slots[I].Occupied && Slots[I].Page != Page)
+        I = (I + 1) & Mask;
+      return I;
+    }
+
+    void grow() {
+      std::vector<Slot> Old;
+      Old.swap(Slots);
+      Slots.resize(Old.size() * 2);
+      for (const Slot &S : Old)
+        if (S.Occupied) {
+          size_t I = indexOf(S.Page);
+          Slots[I] = S;
+        }
+    }
+
+    std::vector<Slot> Slots; // capacity always a power of two
+    size_t Used = 0;
+  };
+
+  StreamTable Streams;
 
   uint64_t MemoryAccesses = 0;
   uint64_t PrefetchMemFills = 0;

@@ -2,13 +2,29 @@
 
 #include "cachesim/TraceRunner.h"
 
+#include "cachesim/AccessProgram.h"
+#include "runtime/ThreadPool.h"
+
 using namespace ltp;
 
-SimResult ltp::simulate(const ir::StmtPtr &S,
+SimResult ltp::simulate(const std::vector<ir::StmtPtr> &Stmts,
                         const std::map<std::string, BufferRef> &Buffers,
-                        const ArchParams &Arch,
-                        const LatencyModel &Latency) {
+                        const ArchParams &Arch, const LatencyModel &Latency,
+                        SimEngine Engine) {
   MemoryHierarchy Hierarchy(Arch);
+  SimResult Result;
+
+  if (Engine != SimEngine::Interpreter) {
+    if (std::optional<AccessProgram> Program =
+            compileAccessProgram(Stmts, Buffers)) {
+      Result.Accesses = Program->run(Hierarchy, Buffers);
+      Result.FastPath = true;
+      Result.Stats = Hierarchy.stats();
+      Result.EstimatedCycles = Hierarchy.estimatedCycles(Latency);
+      return Result;
+    }
+  }
+
   uint64_t Accesses = 0;
   InterpOptions Options;
   Options.Hook = [&](AccessKind Kind, uint64_t Address, uint32_t Size) {
@@ -25,11 +41,31 @@ SimResult ltp::simulate(const ir::StmtPtr &S,
       return;
     }
   };
-  interpret(S, Buffers, Options);
+  for (const ir::StmtPtr &S : Stmts)
+    interpret(S, Buffers, Options);
 
-  SimResult Result;
   Result.Stats = Hierarchy.stats();
   Result.EstimatedCycles = Hierarchy.estimatedCycles(Latency);
   Result.Accesses = Accesses;
   return Result;
+}
+
+SimResult ltp::simulate(const ir::StmtPtr &S,
+                        const std::map<std::string, BufferRef> &Buffers,
+                        const ArchParams &Arch, const LatencyModel &Latency,
+                        SimEngine Engine) {
+  return simulate(std::vector<ir::StmtPtr>{S}, Buffers, Arch, Latency,
+                  Engine);
+}
+
+std::vector<SimResult> ltp::simulateMany(const std::vector<SimJob> &Jobs,
+                                         SimEngine Engine) {
+  std::vector<SimResult> Results(Jobs.size());
+  ThreadPool::global().parallelFor(
+      0, static_cast<int64_t>(Jobs.size()), [&](int64_t I) {
+        const SimJob &Job = Jobs[static_cast<size_t>(I)];
+        Results[static_cast<size_t>(I)] =
+            simulate(Job.Stmts, *Job.Buffers, Job.Arch, Job.Latency, Engine);
+      });
+  return Results;
 }

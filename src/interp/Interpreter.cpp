@@ -327,6 +327,6 @@ void ltp::interpret(const StmtPtr &S,
   assert(S && "interpreting a null statement");
   assert(!(Options.RunParallel && Options.Hook) &&
          "traced interpretation must be deterministic (serial)");
-  Env Environment{Buffers, {}, Options};
+  Env Environment{Buffers, Options.InitialScalars, Options};
   execStmt(S, Environment);
 }

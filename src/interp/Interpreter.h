@@ -48,6 +48,10 @@ struct InterpOptions {
   bool RunParallel = false;
   /// Optional memory trace hook.
   AccessHook Hook;
+  /// Pre-bound scalar variables, visible to the interpreted statement as
+  /// if bound by enclosing loops/lets. Used by the access-program fast
+  /// path to interpret an escaped subtree in its surrounding loop context.
+  std::map<std::string, int64_t> InitialScalars;
 };
 
 /// Executes \p S against the named buffers in \p Buffers.

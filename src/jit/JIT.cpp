@@ -51,38 +51,25 @@ std::string slurp(const std::string &Path) {
 // CompiledKernel
 //===----------------------------------------------------------------------===//
 
-CompiledKernel::CompiledKernel(CompiledKernel &&Other) noexcept {
-  *this = std::move(Other);
-}
+struct CompiledKernel::Module {
+  void *Handle = nullptr; // dlopen handle
+  void *Entry = nullptr;  // kernel function pointer
+  std::string SharedObjectPath;
 
-CompiledKernel &CompiledKernel::operator=(CompiledKernel &&Other) noexcept {
-  if (this != &Other) {
+  ~Module() {
     if (Handle)
       dlclose(Handle);
-    Handle = Other.Handle;
-    Entry = Other.Entry;
-    Signature = std::move(Other.Signature);
-    Source = std::move(Other.Source);
-    SharedObjectPath = std::move(Other.SharedObjectPath);
-    Other.Handle = nullptr;
-    Other.Entry = nullptr;
+    if (!SharedObjectPath.empty())
+      ::unlink(SharedObjectPath.c_str());
   }
-  return *this;
-}
-
-CompiledKernel::~CompiledKernel() {
-  if (Handle)
-    dlclose(Handle);
-  if (!SharedObjectPath.empty())
-    ::unlink(SharedObjectPath.c_str());
-}
+};
 
 void CompiledKernel::runRaw(const std::vector<void *> &BufferPointers) const {
-  assert(Entry && "running a moved-from kernel");
+  assert(Mod && Mod->Entry && "running a moved-from kernel");
   assert(BufferPointers.size() == Signature.size() &&
          "buffer count does not match the kernel signature");
   LtpJitRuntime Rt{hostParallelFor};
-  reinterpret_cast<KernelFn>(Entry)(BufferPointers.data(), &Rt);
+  reinterpret_cast<KernelFn>(Mod->Entry)(BufferPointers.data(), &Rt);
 }
 
 void CompiledKernel::run(
@@ -127,10 +114,32 @@ ErrorOr<CompiledKernel>
 JITCompiler::compile(const ir::StmtPtr &S,
                      const std::vector<BufferBinding> &Signature,
                      const CodeGenOptions &Options) {
-  int Id = ModuleCounter.fetch_add(1);
   std::string KernelName = "ltp_kernel";
   std::string Source = generateC(S, Signature, KernelName, Options);
 
+  // -O3 with GCC's loop-nest restructuring disabled: the schedule encoded
+  // in the generated source (tiling, interchange) is the experiment; the
+  // back-end compiler must vectorize and register-allocate it, not
+  // re-tile it (Halide's LLVM back end likewise performs no loop-nest
+  // restructuring).
+  const char *Flags =
+      "-O3 -march=native -fno-loop-interchange -fno-loop-unroll-and-jam "
+      "-fPIC -shared";
+
+  // Memoize on (flags, source): revisited schedules reuse the loaded
+  // module instead of paying another cc + dlopen round-trip.
+  std::string Key = std::string(Flags) + '\n' + Source;
+  auto Cached = Cache.find(Key);
+  if (Cached != Cache.end()) {
+    ++CacheHits;
+    CompiledKernel Kernel;
+    Kernel.Mod = Cached->second;
+    Kernel.Signature = Signature;
+    Kernel.Source = std::move(Source);
+    return Kernel;
+  }
+
+  int Id = ModuleCounter.fetch_add(1);
   std::string CPath = WorkDir + strFormat("/mod_%d.c", Id);
   std::string SoPath = WorkDir + strFormat("/mod_%d.so", Id);
   std::string ErrPath = WorkDir + strFormat("/mod_%d.err", Id);
@@ -142,15 +151,9 @@ JITCompiler::compile(const ir::StmtPtr &S,
     Out << Source;
   }
 
-  // -O3 with GCC's loop-nest restructuring disabled: the schedule encoded
-  // in the generated source (tiling, interchange) is the experiment; the
-  // back-end compiler must vectorize and register-allocate it, not
-  // re-tile it (Halide's LLVM back end likewise performs no loop-nest
-  // restructuring).
-  std::string Command = strFormat(
-      "%s -O3 -march=native -fno-loop-interchange -fno-loop-unroll-and-jam "
-      "-fPIC -shared -o '%s' '%s' 2> '%s'",
-      Compiler.c_str(), SoPath.c_str(), CPath.c_str(), ErrPath.c_str());
+  std::string Command =
+      strFormat("%s %s -o '%s' '%s' 2> '%s'", Compiler.c_str(), Flags,
+                SoPath.c_str(), CPath.c_str(), ErrPath.c_str());
   int Status = std::system(Command.c_str());
   if (Status != 0) {
     std::string Diag = slurp(ErrPath);
@@ -173,12 +176,16 @@ JITCompiler::compile(const ir::StmtPtr &S,
         "kernel symbol missing from JIT module");
   }
 
+  auto Mod = std::make_shared<CompiledKernel::Module>();
+  Mod->Handle = Handle;
+  Mod->Entry = Entry;
+  Mod->SharedObjectPath = SoPath;
+  Cache.emplace(std::move(Key), Mod);
+
   CompiledKernel Kernel;
-  Kernel.Handle = Handle;
-  Kernel.Entry = Entry;
+  Kernel.Mod = std::move(Mod);
   Kernel.Signature = Signature;
   Kernel.Source = std::move(Source);
-  Kernel.SharedObjectPath = SoPath;
   ++CompileCount;
   return Kernel;
 }

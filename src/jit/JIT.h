@@ -32,15 +32,16 @@
 
 namespace ltp {
 
-/// A loaded, callable kernel. Movable; unloads its shared object on
-/// destruction.
+/// A loaded, callable kernel. Movable; the underlying shared object is
+/// reference-counted (the compiler's memoization cache may hand the same
+/// module to several kernels) and unloaded when the last user goes away.
 class CompiledKernel {
 public:
-  CompiledKernel(CompiledKernel &&Other) noexcept;
-  CompiledKernel &operator=(CompiledKernel &&Other) noexcept;
+  CompiledKernel(CompiledKernel &&Other) noexcept = default;
+  CompiledKernel &operator=(CompiledKernel &&Other) noexcept = default;
   CompiledKernel(const CompiledKernel &) = delete;
   CompiledKernel &operator=(const CompiledKernel &) = delete;
-  ~CompiledKernel();
+  ~CompiledKernel() = default;
 
   /// Runs the kernel. \p Buffers are matched to the compile-time signature
   /// by name; extents and strides must equal the compile-time shapes.
@@ -60,11 +61,12 @@ private:
   friend class JITCompiler;
   CompiledKernel() = default;
 
-  void *Handle = nullptr;          // dlopen handle
-  void *Entry = nullptr;           // kernel function pointer
+  /// The loaded shared object; dlcloses and unlinks on destruction.
+  struct Module;
+
+  std::shared_ptr<const Module> Mod;
   std::vector<BufferBinding> Signature;
   std::string Source;
-  std::string SharedObjectPath;
 };
 
 /// Compiles lowered statements into callable kernels via the host C
@@ -80,17 +82,26 @@ public:
 
   /// Compiles \p S against \p Signature. Returns the kernel or a
   /// diagnostic (compiler missing / compile error with the tool output).
+  /// Results are memoized on (generated C source, compiler flags): a
+  /// schedule the autotuner revisits skips the cc + dlopen round-trip
+  /// and shares the already-loaded module.
   ErrorOr<CompiledKernel>
   compile(const ir::StmtPtr &S, const std::vector<BufferBinding> &Signature,
           const CodeGenOptions &Options = CodeGenOptions());
 
-  /// Number of successful compilations (used by autotuner statistics).
+  /// Number of actual compiler invocations that succeeded (cache hits
+  /// excluded; used by autotuner statistics).
   int compileCount() const { return CompileCount; }
+
+  /// Number of compile() calls served from the memoization cache.
+  int cacheHitCount() const { return CacheHits; }
 
 private:
   std::string Compiler;
   std::string WorkDir;
   int CompileCount = 0;
+  int CacheHits = 0;
+  std::map<std::string, std::shared_ptr<const CompiledKernel::Module>> Cache;
 };
 
 /// Returns true when JIT compilation is expected to work on this host.

@@ -2,6 +2,7 @@
 
 #include "runtime/ThreadPool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 
@@ -56,6 +57,10 @@ void ThreadPool::parallelFor(int64_t Min, int64_t Extent,
   Job TheJob;
   TheJob.Min = Min;
   TheJob.Extent = Extent;
+  // Grains amortize the atomic claim; 4 grains per thread keep the tail
+  // balanced, and a floor of 1 preserves whole-tile distribution for
+  // short inter-tile loops.
+  TheJob.Grain = std::max<int64_t>(1, Extent / (static_cast<int64_t>(size()) * 4));
   TheJob.Body = &Body;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -64,14 +69,8 @@ void ThreadPool::parallelFor(int64_t Min, int64_t Extent,
   }
   WorkAvailable.notify_all();
 
-  // The calling thread claims iterations alongside the workers.
-  for (;;) {
-    int64_t I = TheJob.Next.fetch_add(1, std::memory_order_relaxed);
-    if (I >= Extent)
-      break;
-    Body(Min + I);
-    TheJob.Done.fetch_add(1, std::memory_order_acq_rel);
-  }
+  // The calling thread claims grains alongside the workers.
+  runShare(TheJob);
 
   {
     std::unique_lock<std::mutex> Lock(Mutex);
@@ -85,6 +84,21 @@ void ThreadPool::parallelFor(int64_t Min, int64_t Extent,
     Current = nullptr;
   }
   JobActive.store(false, std::memory_order_release);
+}
+
+void ThreadPool::runShare(Job &TheJob) {
+  for (;;) {
+    int64_t Begin = TheJob.Next.fetch_add(TheJob.Grain,
+                                          std::memory_order_relaxed);
+    if (Begin >= TheJob.Extent)
+      break;
+    int64_t End = std::min(Begin + TheJob.Grain, TheJob.Extent);
+    for (int64_t I = Begin; I != End; ++I)
+      (*TheJob.Body)(TheJob.Min + I);
+    // Completion is still tracked per iteration: the owner's predicate
+    // compares Done against Extent.
+    TheJob.Done.fetch_add(End - Begin, std::memory_order_acq_rel);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -103,13 +117,7 @@ void ThreadPool::workerLoop() {
       TheJob = Current;
       TheJob->ActiveWorkers.fetch_add(1, std::memory_order_acq_rel);
     }
-    for (;;) {
-      int64_t I = TheJob->Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= TheJob->Extent)
-        break;
-      (*TheJob->Body)(TheJob->Min + I);
-      TheJob->Done.fetch_add(1, std::memory_order_acq_rel);
-    }
+    runShare(*TheJob);
     {
       // Release the job pointer under the mutex and wake the owner; this
       // also covers the completion wakeup (the owner's predicate checks

@@ -42,8 +42,10 @@ public:
 
   /// Runs \p Body(I) for every I in [Min, Min+Extent), distributing
   /// iterations over the pool. Blocks until all iterations finish.
-  /// Iterations are claimed atomically one at a time, which is the right
-  /// granularity for inter-tile loops (each iteration is a whole tile).
+  /// Iterations are claimed in grains proportional to Extent / pool
+  /// size (minimum 1, so short inter-tile loops keep whole-tile
+  /// granularity and full distribution); large extents amortize the
+  /// atomic claim over a grain instead of paying one per iteration.
   void parallelFor(int64_t Min, int64_t Extent,
                    const std::function<void(int64_t)> &Body);
 
@@ -51,11 +53,19 @@ public:
   static ThreadPool &global();
 
 private:
+  struct Job;
+
   void workerLoop();
+
+  /// Claims and runs grains of the job until no iterations remain; used
+  /// by both the calling thread and the workers.
+  static void runShare(Job &TheJob);
 
   struct Job {
     int64_t Min = 0;
     int64_t Extent = 0;
+    /// Iterations claimed per atomic fetch_add.
+    int64_t Grain = 1;
     std::atomic<int64_t> Next{0};
     std::atomic<int64_t> Done{0};
     /// Workers currently holding a pointer to this job; the owner must

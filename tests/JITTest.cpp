@@ -167,6 +167,57 @@ TEST_F(JITFixture, GuardedTailsMatchInterpreter) {
   test::expectNear(C, Want);
 }
 
+TEST_F(JITFixture, RecompilingIdenticalSourceHitsCache) {
+  // The autotuner recompiles identical candidate schedules constantly;
+  // the second compile of byte-identical generated C must be served from
+  // the in-process cache without invoking the host compiler again.
+  constexpr int64_t N = 16;
+  Buffer<float> In({N}), Out({N});
+  In.fillRandom(21);
+
+  auto Build = [&] {
+    Var X("x");
+    InputBuffer InB("In", ir::Type::float32(), 1);
+    Func O("Out");
+    O(X) = InB(X) * 3.0f;
+    return lowerFunc(O, {N});
+  };
+  std::vector<BufferBinding> Signature = {
+      BufferBinding::fromRef("Out", Out.ref()),
+      BufferBinding::fromRef("In", In.ref())};
+
+  auto First = Compiler.compile(Build(), Signature);
+  ASSERT_TRUE(static_cast<bool>(First)) << First.getError();
+  EXPECT_EQ(Compiler.compileCount(), 1);
+  EXPECT_EQ(Compiler.cacheHitCount(), 0);
+
+  auto Second = Compiler.compile(Build(), Signature);
+  ASSERT_TRUE(static_cast<bool>(Second)) << Second.getError();
+  EXPECT_EQ(Compiler.compileCount(), 1) << "identical source must not recompile";
+  EXPECT_EQ(Compiler.cacheHitCount(), 1);
+
+  // Both kernels stay runnable (the module is shared, not stolen).
+  std::map<std::string, BufferRef> Buffers = {{"In", In.ref()},
+                                              {"Out", Out.ref()}};
+  First->run(Buffers);
+  for (int64_t I = 0; I != N; ++I)
+    EXPECT_EQ(Out(I), In(I) * 3.0f);
+  Out.fill(0.0f);
+  Second->run(Buffers);
+  for (int64_t I = 0; I != N; ++I)
+    EXPECT_EQ(Out(I), In(I) * 3.0f);
+
+  // A different source is a genuine miss.
+  Var X("x");
+  InputBuffer InB("In", ir::Type::float32(), 1);
+  Func P("Out");
+  P(X) = InB(X) + 7.0f;
+  auto Third = Compiler.compile(lowerFunc(P, {N}), Signature);
+  ASSERT_TRUE(static_cast<bool>(Third)) << Third.getError();
+  EXPECT_EQ(Compiler.compileCount(), 2);
+  EXPECT_EQ(Compiler.cacheHitCount(), 1);
+}
+
 TEST_F(JITFixture, CompileErrorIsReported) {
   // A buffer missing from the signature is a programmatic error caught by
   // assert; instead check the compiler-diagnostic path with a bogus

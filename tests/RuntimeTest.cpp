@@ -85,6 +85,23 @@ TEST(ThreadPoolTest, CoversFullRangeExactlyOnce) {
     EXPECT_EQ(Counts[static_cast<size_t>(I)].load(), 1) << "index " << I;
 }
 
+TEST(ThreadPoolTest, GrainClaimingCoversOddExtents) {
+  // Workers claim proportional grains (extent / (threads * 4), min 1);
+  // an extent that is neither a multiple of the grain nor of the thread
+  // count must still be covered exactly once, including the tail chunk.
+  ThreadPool Pool(3);
+  constexpr int64_t N = 100001;
+  std::vector<std::atomic<int>> Counts(N);
+  Pool.parallelFor(0, N, [&](int64_t I) {
+    Counts[static_cast<size_t>(I)].fetch_add(1);
+  });
+  int64_t Bad = 0;
+  for (int64_t I = 0; I != N; ++I)
+    if (Counts[static_cast<size_t>(I)].load() != 1)
+      ++Bad;
+  EXPECT_EQ(Bad, 0);
+}
+
 TEST(ThreadPoolTest, NonZeroMinRespected) {
   ThreadPool Pool(3);
   std::atomic<int64_t> Sum{0};
