@@ -37,7 +37,8 @@ std::string ltp::bench::applyScheduler(BenchmarkInstance &Instance,
                                        Scheduler S, const ArchParams &Arch,
                                        JITCompiler *Compiler,
                                        double AutotuneBudgetSeconds,
-                                       const TemporalOptions &Ablation) {
+                                       const TemporalOptions &Ablation,
+                                       int AutotuneMaxCandidates) {
   switch (S) {
   case Scheduler::Proposed:
   case Scheduler::ProposedNTI: {
@@ -68,6 +69,7 @@ std::string ltp::bench::applyScheduler(BenchmarkInstance &Instance,
     assert(Compiler && "the autotuner needs a JIT compiler");
     AutotuneOptions Options;
     Options.BudgetSeconds = AutotuneBudgetSeconds;
+    Options.MaxCandidates = AutotuneMaxCandidates;
     AutotuneOutcome Outcome = autotune(Instance, *Compiler, Options);
     return strFormat("autotuner: %d candidates, best %.3f ms (%s)",
                      Outcome.CandidatesEvaluated,
@@ -110,6 +112,22 @@ double ltp::bench::timePipeline(const BenchmarkInstance &Instance,
   Pipeline->run(Instance);
   return timeBestOf(static_cast<unsigned>(Runs),
                     [&] { Pipeline->run(Instance); });
+}
+
+double ltp::bench::timeCompiled(const CompiledPipeline &Pipeline,
+                                const BenchmarkInstance &Instance,
+                                int Runs) {
+  Pipeline.run(Instance);
+  return timeBestOf(static_cast<unsigned>(Runs),
+                    [&] { Pipeline.run(Instance); });
+}
+
+void ltp::bench::printJITStats(const JITCompiler &Compiler) {
+  std::printf("JIT stats        : cc invocations : %d | memo hits : %d | "
+              "disk hits : %d\n",
+              Compiler.compileCount(), Compiler.cacheHitCount(),
+              Compiler.diskHitCount());
+  std::printf("kernel cache     : %s\n", Compiler.cacheDir().c_str());
 }
 
 int64_t ltp::bench::problemSize(const BenchmarkDef &Def,

@@ -41,19 +41,33 @@ enum class Scheduler {
 const char *schedulerName(Scheduler S);
 
 /// Applies \p S to every stage of \p Instance. The autotuner needs a JIT
-/// compiler and a budget; other schedulers ignore those arguments.
+/// compiler and a budget; other schedulers ignore those arguments. A
+/// non-zero \p AutotuneMaxCandidates caps the autotuner's candidate
+/// stream so cold and warm runs compile an identical schedule set.
 /// Returns a short description of what was applied.
 std::string applyScheduler(BenchmarkInstance &Instance, Scheduler S,
                            const ArchParams &Arch,
                            JITCompiler *Compiler = nullptr,
                            double AutotuneBudgetSeconds = 5.0,
-                           const TemporalOptions &Ablation = {});
+                           const TemporalOptions &Ablation = {},
+                           int AutotuneMaxCandidates = 0);
 
 /// Compiles and times the pipeline: best of \p Runs wall-clock seconds.
 /// Returns a negative value when JIT compilation is unavailable/fails.
 double timePipeline(const BenchmarkInstance &Instance,
                     JITCompiler &Compiler, int Runs,
                     bool EnableNonTemporalCodegen = true);
+
+/// Times an already-compiled pipeline (one warm-up run, then the best of
+/// \p Runs).
+double timeCompiled(const CompiledPipeline &Pipeline,
+                    const BenchmarkInstance &Instance, int Runs);
+
+/// Prints the JIT activity footer: actual cc invocations, in-process
+/// memo hits and on-disk cache hits. A warm rerun of a deterministic
+/// bench reports `cc invocations : 0` — every kernel loads from the
+/// content-addressed disk cache.
+void printJITStats(const JITCompiler &Compiler);
 
 /// Scaled problem size for one benchmark: the default container-scaled
 /// size multiplied by --scale, or the paper size under --paper.

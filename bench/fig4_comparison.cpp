@@ -48,6 +48,8 @@ int main(int Argc, char **Argv) {
       Scheduler::Baseline, Scheduler::Autotuner};
   const int Runs = timedRuns(Args, 2);
   const double Budget = Args.getDouble("autotune-budget", 5.0);
+  const int Candidates =
+      static_cast<int>(Args.getInt("autotune-candidates", 0));
   const std::string Only = Args.getString("bench", "");
   const bool Sim = Args.has("sim");
   const bool Verify = Args.has("verify");
@@ -65,6 +67,7 @@ int main(int Argc, char **Argv) {
 
     struct Row {
       Scheduler S;
+      BenchmarkInstance Instance;
       double Seconds = -1.0;
       double SimCycles = -1.0;
       std::string Description;
@@ -72,36 +75,65 @@ int main(int Argc, char **Argv) {
     };
     std::vector<Row> Rows;
 
+    // Pass 1: schedule every configuration. The rows must all exist
+    // before compile jobs are made — the jobs point at the instances'
+    // buffer maps.
     for (Scheduler S : Schedulers) {
-      Row R;
-      R.S = S;
-      BenchmarkInstance Instance = Def.Create(Size);
-      R.Description = applyScheduler(Instance, S, Arch, &Compiler, Budget);
+      Row R{S, Def.Create(Size)};
+      R.Description = applyScheduler(R.Instance, S, Arch, &Compiler,
+                                     Budget, {}, Candidates);
 
       // Proposed+NTI only differs when the classifier enables streaming
       // stores; report it once, on the kernels it applies to.
       if (S == Scheduler::ProposedNTI &&
-          !Instance.Stages.back().isStoreNonTemporal())
+          !R.Instance.Stages.back().isStoreNonTemporal())
         R.Applicable = false;
+      Rows.push_back(std::move(R));
+    }
 
-      if (R.Applicable && jitAvailable())
-        R.Seconds = timePipeline(Instance, Compiler, Runs);
-      if (R.Applicable && Verify) {
+    // Pass 2: batch-compile every applicable configuration in one
+    // compileMany call (cold kernels overlap on the thread pool; warm
+    // reruns load everything from the disk cache), then time.
+    if (jitAvailable()) {
+      std::vector<PipelineCompileJob> Jobs;
+      std::vector<size_t> JobRows;
+      for (size_t I = 0; I != Rows.size(); ++I)
+        if (Rows[I].Applicable) {
+          Jobs.push_back(makeCompileJob(Rows[I].Instance));
+          JobRows.push_back(I);
+        }
+      std::vector<ErrorOr<CompiledPipeline>> Compiled =
+          compilePipelines(Jobs, Compiler);
+      for (size_t J = 0; J != Jobs.size(); ++J) {
+        if (!Compiled[J]) {
+          std::fprintf(stderr, "warning: JIT compile failed: %s\n",
+                       Compiled[J].getError().c_str());
+          continue;
+        }
+        Rows[JobRows[J]].Seconds =
+            timeCompiled(*Compiled[J], Rows[JobRows[J]].Instance, Runs);
+      }
+    }
+
+    for (Row &R : Rows) {
+      if (!R.Applicable)
+        continue;
+      if (Verify) {
         // Verify on a small replica: the interpreter is the oracle and
         // far too slow for bench-sized problems.
         BenchmarkInstance Small = Def.Create(simSize(Def.Name) / 2);
-        applyScheduler(Small, S, Arch, &Compiler, 1.0);
+        applyScheduler(Small, R.S, Arch, &Compiler, 1.0, {}, Candidates);
         runInterpreted(Small);
         if (!verifyOutput(Small))
           std::printf("!! VERIFY FAILED: %s / %s\n", Def.Name.c_str(),
-                      schedulerName(S));
+                      schedulerName(R.S));
       }
-      if (R.Applicable && Sim) {
+      if (Sim) {
         BenchmarkInstance SimInstance = Def.Create(simSize(Def.Name));
-        applyScheduler(SimInstance, S, Arch, &Compiler, 1.0);
+        applyScheduler(SimInstance, R.S, Arch, &Compiler, 1.0, {},
+                       Candidates);
         R.SimCycles = simulatePipeline(SimInstance, Arch).EstimatedCycles;
       }
-      Rows.push_back(R);
     }
 
     double BestSeconds = -1.0;
@@ -132,5 +164,6 @@ int main(int Argc, char **Argv) {
     }
     std::printf("\n");
   }
+  printJITStats(Compiler);
   return 0;
 }

@@ -150,29 +150,49 @@ AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
   AutotuneOutcome Outcome;
   PipelineDecision BestDecision;
 
-  while (Budget.elapsedSeconds() < Options.BudgetSeconds) {
-    PipelineDecision Decision;
-    for (size_t I = 0; I != Instance.Stages.size(); ++I) {
-      Func &F = Instance.Stages[I];
-      int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
-      StageAccessInfo Info =
-          analyzeStage(F, ComputeStage, Instance.StageExtents[I]);
-      Decision.push_back(drawDecision(Info, Rng, Options));
-    }
+  // Candidates are drawn and compiled in batches: compilePipelines fans
+  // the cold cc invocations across the thread pool, then each candidate
+  // is timed serially. The draw order (and thus, under MaxCandidates,
+  // the candidate set) is identical to the one-at-a-time search.
+  int Drawn = 0;
+  while (Budget.elapsedSeconds() < Options.BudgetSeconds &&
+         (Options.MaxCandidates == 0 || Drawn < Options.MaxCandidates)) {
+    int BatchN = std::max(1, Options.BatchSize);
+    if (Options.MaxCandidates > 0)
+      BatchN = std::min(BatchN, Options.MaxCandidates - Drawn);
 
-    applyPipelineDecision(Instance, Decision, Arch);
-    auto Pipeline = compilePipeline(Instance, Compiler);
-    if (!Pipeline) {
-      ++Outcome.CandidatesFailed;
-      continue;
+    std::vector<PipelineDecision> Batch;
+    std::vector<PipelineCompileJob> Jobs;
+    for (int B = 0; B != BatchN; ++B) {
+      PipelineDecision Decision;
+      for (size_t I = 0; I != Instance.Stages.size(); ++I) {
+        Func &F = Instance.Stages[I];
+        int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+        StageAccessInfo Info =
+            analyzeStage(F, ComputeStage, Instance.StageExtents[I]);
+        Decision.push_back(drawDecision(Info, Rng, Options));
+      }
+      applyPipelineDecision(Instance, Decision, Arch);
+      Jobs.push_back(makeCompileJob(Instance));
+      Batch.push_back(std::move(Decision));
     }
-    double Seconds = timeBestOf(
-        static_cast<unsigned>(std::max(1, Options.RunsPerCandidate)),
-        [&] { Pipeline->run(Instance); });
-    ++Outcome.CandidatesEvaluated;
-    if (Outcome.BestSeconds < 0.0 || Seconds < Outcome.BestSeconds) {
-      Outcome.BestSeconds = Seconds;
-      BestDecision = Decision;
+    Drawn += BatchN;
+
+    std::vector<ErrorOr<CompiledPipeline>> Compiled =
+        compilePipelines(Jobs, Compiler);
+    for (size_t B = 0; B != Batch.size(); ++B) {
+      if (!Compiled[B]) {
+        ++Outcome.CandidatesFailed;
+        continue;
+      }
+      double Seconds = timeBestOf(
+          static_cast<unsigned>(std::max(1, Options.RunsPerCandidate)),
+          [&] { Compiled[B]->run(Instance); });
+      ++Outcome.CandidatesEvaluated;
+      if (Outcome.BestSeconds < 0.0 || Seconds < Outcome.BestSeconds) {
+        Outcome.BestSeconds = Seconds;
+        BestDecision = Batch[B];
+      }
     }
   }
 

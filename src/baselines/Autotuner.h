@@ -39,6 +39,15 @@ struct AutotuneOptions {
   bool TileReductions = false;
   /// Timed runs per candidate (minimum is kept).
   int RunsPerCandidate = 1;
+  /// Candidates drawn per compilation batch; each batch is compiled in
+  /// one JITCompiler::compileMany call so the cc invocations overlap on
+  /// the thread pool before any candidate is timed.
+  int BatchSize = 8;
+  /// Hard cap on candidates drawn (0 = budget-only). With a cap the
+  /// candidate set is a deterministic function of the seed, so a warm
+  /// rerun replays exactly the schedules a cold run compiled and the
+  /// on-disk kernel cache serves every compilation.
+  int MaxCandidates = 0;
 };
 
 /// Search outcome. The best schedule found is left applied to the

@@ -73,6 +73,54 @@ ltp::compilePipeline(const BenchmarkInstance &Instance,
   return Pipeline;
 }
 
+PipelineCompileJob
+ltp::makeCompileJob(const BenchmarkInstance &Instance,
+                    const CodeGenOptions &Options) {
+  PipelineCompileJob Job;
+  Job.Stages = lowerPipeline(Instance);
+  checkBounds(Job.Stages, Instance.Buffers);
+  Job.Buffers = &Instance.Buffers;
+  Job.Options = Options;
+  return Job;
+}
+
+std::vector<ErrorOr<CompiledPipeline>>
+ltp::compilePipelines(const std::vector<PipelineCompileJob> &Jobs,
+                      JITCompiler &Compiler) {
+  std::vector<CompileJob> Flat;
+  for (const PipelineCompileJob &Job : Jobs) {
+    assert(Job.Buffers && "compile job without buffers");
+    std::vector<BufferBinding> Signature;
+    for (const auto &[Name, Ref] : *Job.Buffers)
+      Signature.push_back(BufferBinding::fromRef(Name, Ref));
+    for (const ir::StmtPtr &S : Job.Stages)
+      Flat.push_back(CompileJob{S, Signature, Job.Options});
+  }
+
+  std::vector<ErrorOr<CompiledKernel>> Kernels =
+      Compiler.compileMany(Flat);
+
+  std::vector<ErrorOr<CompiledPipeline>> Out;
+  size_t Next = 0;
+  for (const PipelineCompileJob &Job : Jobs) {
+    CompiledPipeline Pipeline;
+    std::string Error;
+    for (size_t S = 0; S != Job.Stages.size(); ++S, ++Next) {
+      if (!Kernels[Next]) {
+        if (Error.empty())
+          Error = Kernels[Next].getError();
+        continue;
+      }
+      Pipeline.Kernels.push_back(std::move(*Kernels[Next]));
+    }
+    if (!Error.empty())
+      Out.push_back(ErrorOr<CompiledPipeline>::makeError(Error));
+    else
+      Out.push_back(std::move(Pipeline));
+  }
+  return Out;
+}
+
 SimResult ltp::simulatePipeline(const BenchmarkInstance &Instance,
                                 const ArchParams &Arch, SimEngine Engine) {
   return simulate(lowerPipeline(Instance), Instance.Buffers, Arch,

@@ -45,6 +45,30 @@ ErrorOr<CompiledPipeline>
 compilePipeline(const BenchmarkInstance &Instance, JITCompiler &Compiler,
                 const CodeGenOptions &Options = CodeGenOptions());
 
+/// One scheduled pipeline variant awaiting compilation: the stages as
+/// lowered under the schedule that was applied when the job was made,
+/// plus the buffers they bind against. Capture the job before mutating
+/// the instance's schedules again (autotuning candidates).
+struct PipelineCompileJob {
+  std::vector<ir::StmtPtr> Stages;
+  const std::map<std::string, BufferRef> *Buffers = nullptr;
+  CodeGenOptions Options;
+};
+
+/// Lowers and bounds-checks \p Instance with its current schedules into a
+/// compile job for compilePipelines.
+PipelineCompileJob
+makeCompileJob(const BenchmarkInstance &Instance,
+               const CodeGenOptions &Options = CodeGenOptions());
+
+/// Compiles a batch of pipeline variants in one JITCompiler::compileMany
+/// call, fanning the cold stage compilations across the thread pool.
+/// Results are in job order; a pipeline whose stages all hit the memo or
+/// disk cache costs no compiler invocation at all.
+std::vector<ErrorOr<CompiledPipeline>>
+compilePipelines(const std::vector<PipelineCompileJob> &Jobs,
+                 JITCompiler &Compiler);
+
 /// Runs the pipeline through the cache simulator configured from \p Arch
 /// and returns the merged miss profile. Uses the compiled access-program
 /// fast path when the lowered stages admit one, falling back to the

@@ -7,6 +7,7 @@
 
 #include <cassert>
 #include <map>
+#include <optional>
 #include <set>
 
 using namespace ltp;
@@ -35,6 +36,30 @@ public:
 protected:
   void visit(const Store *Node) override {
     Found |= Node->NonTemporal;
+    IRVisitor::visit(Node);
+  }
+};
+
+/// Collects every Store node in a subtree (in visit order).
+class StoreCollector : public IRVisitor {
+public:
+  std::vector<const Store *> Stores;
+
+protected:
+  void visit(const Store *Node) override {
+    Stores.push_back(Node);
+    IRVisitor::visit(Node);
+  }
+};
+
+/// Collects every Load node in a subtree.
+class LoadCollector : public IRVisitor {
+public:
+  std::vector<const Load *> Loads;
+
+protected:
+  void visit(const Load *Node) override {
+    Loads.push_back(Node);
     IRVisitor::visit(Node);
   }
 };
@@ -72,6 +97,7 @@ public:
     emitStmt(S, 1, Body);
 
     std::string Out = preamble(UsesStreaming);
+    Out += simdPreamble();
     Out += OutlinedFunctions;
     Out += strFormat(
         "void %s(void *const *bufs, const ltp_jit_runtime *rt) {\n",
@@ -180,13 +206,23 @@ private:
         emitParallelFor(F, Indent, Out);
         return;
       }
-      if (F->Kind == ForKind::Vectorized &&
-          tryEmitStreamingVectorLoop(F, Indent, Out))
+      if (F->Kind == ForKind::UnrollJammed &&
+          tryEmitJammedLoop(F, Indent, Out))
         return;
+      if (F->Kind == ForKind::Vectorized) {
+        if (tryEmitSimdLoop(F, Indent, Out))
+          return;
+        if (tryEmitStreamingVectorLoop(F, Indent, Out))
+          return;
+      }
       if (F->Kind == ForKind::Vectorized)
         Out += Pad + "#pragma GCC ivdep\n";
       else if (F->Kind == ForKind::Unrolled)
         Out += Pad + "#pragma GCC unroll 16\n";
+      else if (F->Kind == ForKind::UnrollJammed)
+        // The jam pattern did not match; a plain unroll still exposes the
+        // register reuse to the host compiler's scheduler.
+        Out += Pad + "#pragma GCC unroll 8\n";
       std::string Min = emitExpr(F->Min);
       std::string Extent = emitExpr(F->Extent);
       Out += Pad +
@@ -388,6 +424,889 @@ private:
     return false;
   }
 
+  //===--------------------------------------------------------------------===//
+  // Explicit SIMD
+  //===--------------------------------------------------------------------===//
+
+  /// Per-region context of explicit vector emission.
+  struct VecCtx {
+    std::string Var; ///< the vectorized loop variable
+    Type VT;         ///< element type carried by the vector registers
+    int Lanes = 1;
+    bool Masked = false; ///< inside the masked tail (loads/stores masked)
+  };
+
+  static const char *vecSuffix(Type VT) {
+    if (VT == Type::float32())
+      return "f32";
+    if (VT == Type::float64())
+      return "f64";
+    return "i32"; // Int32 and UInt32 share the integer vector type.
+  }
+
+  static bool vecTypeOK(Type VT) {
+    return VT == Type::float32() || VT == Type::float64() ||
+           VT == Type::int32() || VT == Type::uint32();
+  }
+
+  /// Coefficient of \p Var in \p E when E is affine in Var (terms not
+  /// involving Var may be arbitrary); nullopt when Var occurs in a
+  /// non-affine position.
+  static std::optional<int64_t> affineCoeff(const ExprPtr &E,
+                                            const std::string &Var) {
+    switch (E->kind()) {
+    case ExprKind::IntImm:
+    case ExprKind::FloatImm:
+      return 0;
+    case ExprKind::VarRef:
+      return exprAs<VarRef>(E)->Name == Var ? 1 : 0;
+    case ExprKind::Binary: {
+      const Binary *B = exprAs<Binary>(E);
+      if (B->Op == BinOp::Add || B->Op == BinOp::Sub) {
+        auto A = affineCoeff(B->A, Var);
+        auto C = affineCoeff(B->B, Var);
+        if (!A || !C)
+          return std::nullopt;
+        return B->Op == BinOp::Add ? *A + *C : *A - *C;
+      }
+      if (B->Op == BinOp::Mul) {
+        if (const IntImm *CA = exprDynAs<IntImm>(B->A)) {
+          auto C = affineCoeff(B->B, Var);
+          return C ? std::optional<int64_t>(CA->Value * *C) : std::nullopt;
+        }
+        if (const IntImm *CB = exprDynAs<IntImm>(B->B)) {
+          auto C = affineCoeff(B->A, Var);
+          return C ? std::optional<int64_t>(CB->Value * *C) : std::nullopt;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+    }
+    return exprContainsVar(E, Var) ? std::nullopt
+                                   : std::optional<int64_t>(0);
+  }
+
+  /// Coefficient of \p Var in the flattened (stride-weighted) element
+  /// index of an access: 0 = invariant (broadcast), 1 = unit stride.
+  std::optional<int64_t> accessCoeff(const std::string &BufferName,
+                                     const std::vector<ExprPtr> &Indices,
+                                     const std::string &Var) {
+    auto It = BufferIndex.find(BufferName);
+    assert(It != BufferIndex.end() && "access to unknown buffer");
+    const BufferBinding &B = Signature[It->second];
+    int64_t Total = 0;
+    for (size_t D = 0; D != Indices.size(); ++D) {
+      auto C = affineCoeff(Indices[D], Var);
+      if (!C)
+        return std::nullopt;
+      Total += *C * B.Strides[D];
+    }
+    return Total;
+  }
+
+  /// True when \p Op has a vector form for \p VT at the selected ISA.
+  bool vecOpSupported(BinOp Op, Type VT) const {
+    bool Flt = VT.isFloat();
+    bool AVX2 = Options.ISA.Level == codegen::SimdLevel::AVX2;
+    switch (Op) {
+    case BinOp::Add:
+    case BinOp::Sub:
+      return true;
+    case BinOp::Mul: // integer mullo and min/max need AVX2 (SSE4.1+)
+    case BinOp::Min:
+    case BinOp::Max:
+      return Flt || AVX2;
+    case BinOp::Div:
+      return Flt;
+    case BinOp::BitAnd:
+    case BinOp::BitOr:
+    case BinOp::BitXor:
+      return !Flt;
+    default:
+      return false;
+    }
+  }
+
+  std::string vecOpFn(BinOp Op, Type VT) const {
+    const char *Sfx = vecSuffix(VT);
+    switch (Op) {
+    case BinOp::Add:
+      return std::string("ltp_vadd_") + Sfx;
+    case BinOp::Sub:
+      return std::string("ltp_vsub_") + Sfx;
+    case BinOp::Mul:
+      return std::string("ltp_vmul_") + Sfx;
+    case BinOp::Div:
+      return std::string("ltp_vdiv_") + Sfx;
+    case BinOp::Min:
+      return VT == Type::uint32() ? "ltp_vmin_u32"
+                                  : std::string("ltp_vmin_") + Sfx;
+    case BinOp::Max:
+      return VT == Type::uint32() ? "ltp_vmax_u32"
+                                  : std::string("ltp_vmax_") + Sfx;
+    case BinOp::BitAnd:
+      return std::string("ltp_vand_") + Sfx;
+    case BinOp::BitOr:
+      return std::string("ltp_vor_") + Sfx;
+    case BinOp::BitXor:
+      return std::string("ltp_vxor_") + Sfx;
+    default:
+      assert(false && "operator without a vector form");
+      return "";
+    }
+  }
+
+  /// True when \p E can be evaluated as a vector of Ctx.Lanes elements
+  /// along Ctx.Var: invariant subtrees broadcast; loads must be unit
+  /// stride; operators must have a vector form.
+  bool checkVecExpr(const ExprPtr &E, const VecCtx &Ctx) {
+    if (!exprContainsVar(E, Ctx.Var))
+      return E->type() == Ctx.VT; // broadcast of a scalar subtree
+    switch (E->kind()) {
+    case ExprKind::Load: {
+      const Load *L = exprAs<Load>(E);
+      if (L->type() != Ctx.VT)
+        return false;
+      auto C = accessCoeff(L->BufferName, L->Indices, Ctx.Var);
+      return C && *C == 1;
+    }
+    case ExprKind::Binary: {
+      const Binary *B = exprAs<Binary>(E);
+      if (E->type() != Ctx.VT || !vecOpSupported(B->Op, Ctx.VT))
+        return false;
+      return checkVecExpr(B->A, Ctx) && checkVecExpr(B->B, Ctx);
+    }
+    default:
+      return false; // Cast/Select/Mod etc. fall back to the pragma path.
+    }
+  }
+
+  /// Structural check of a vectorized loop body: stores must be unit
+  /// stride in the vector variable with vectorizable values; inner
+  /// control flow (serial loops, guards, lets) must be invariant in it.
+  bool checkVecStmt(const StmtPtr &S, const VecCtx &Ctx,
+                    std::vector<const Store *> &Stores) {
+    switch (S->kind()) {
+    case StmtKind::Store: {
+      const Store *St = stmtAs<Store>(S);
+      auto It = BufferIndex.find(St->BufferName);
+      assert(It != BufferIndex.end() && "store to unknown buffer");
+      if (Signature[It->second].ElemType != Ctx.VT)
+        return false;
+      // Streaming stores need the dedicated aligned paths.
+      if (St->NonTemporal && Options.EnableNonTemporal)
+        return false;
+      auto C = accessCoeff(St->BufferName, St->Indices, Ctx.Var);
+      if (!C || *C != 1)
+        return false;
+      if (St->Value->type() != Ctx.VT || !checkVecExpr(St->Value, Ctx))
+        return false;
+      Stores.push_back(St);
+      return true;
+    }
+    case StmtKind::For: {
+      const For *F = stmtAs<For>(S);
+      if (F->Kind != ForKind::Serial && F->Kind != ForKind::Unrolled)
+        return false;
+      if (exprContainsVar(F->Min, Ctx.Var) ||
+          exprContainsVar(F->Extent, Ctx.Var))
+        return false;
+      return checkVecStmt(F->Body, Ctx, Stores);
+    }
+    case StmtKind::IfThenElse: {
+      const IfThenElse *I = stmtAs<IfThenElse>(S);
+      if (exprContainsVar(I->Cond, Ctx.Var))
+        return false;
+      if (!checkVecStmt(I->Then, Ctx, Stores))
+        return false;
+      return !I->Else || checkVecStmt(I->Else, Ctx, Stores);
+    }
+    case StmtKind::LetStmt: {
+      const LetStmt *L = stmtAs<LetStmt>(S);
+      if (exprContainsVar(L->Value, Ctx.Var))
+        return false;
+      return checkVecStmt(L->Body, Ctx, Stores);
+    }
+    case StmtKind::Block: {
+      for (const StmtPtr &Child : stmtAs<Block>(S)->Stmts)
+        if (!checkVecStmt(Child, Ctx, Stores))
+          return false;
+      return true;
+    }
+    }
+    return false;
+  }
+
+  /// Emits \p E as a vector value of Ctx.Lanes lanes.
+  std::string emitVecExpr(const ExprPtr &E, const VecCtx &Ctx) {
+    const char *Sfx = vecSuffix(Ctx.VT);
+    if (!exprContainsVar(E, Ctx.Var))
+      return std::string("ltp_vset1_") + Sfx + "(" + emitExpr(E) + ")";
+    switch (E->kind()) {
+    case ExprKind::Load: {
+      const Load *L = exprAs<Load>(E);
+      std::string Addr = "&" + L->BufferName + "[" +
+                         linearIndex(L->BufferName, L->Indices) + "]";
+      if (Ctx.Masked)
+        return std::string("ltp_maskload_") + Sfx + "(" + Addr +
+               ", ltp_mask)";
+      return std::string("ltp_vload_") + Sfx + "(" + Addr + ")";
+    }
+    case ExprKind::Binary: {
+      const Binary *B = exprAs<Binary>(E);
+      // Fold a*b+c into a fused multiply-add for float types.
+      if (Ctx.VT.isFloat() && B->Op == BinOp::Add) {
+        const Binary *MA = exprDynAs<Binary>(B->A);
+        const Binary *MB = exprDynAs<Binary>(B->B);
+        if (MA && MA->Op == BinOp::Mul)
+          return std::string("ltp_vfma_") + Sfx + "(" +
+                 emitVecExpr(MA->A, Ctx) + ", " + emitVecExpr(MA->B, Ctx) +
+                 ", " + emitVecExpr(B->B, Ctx) + ")";
+        if (MB && MB->Op == BinOp::Mul)
+          return std::string("ltp_vfma_") + Sfx + "(" +
+                 emitVecExpr(MB->A, Ctx) + ", " + emitVecExpr(MB->B, Ctx) +
+                 ", " + emitVecExpr(B->A, Ctx) + ")";
+      }
+      return vecOpFn(B->Op, Ctx.VT) + "(" + emitVecExpr(B->A, Ctx) + ", " +
+             emitVecExpr(B->B, Ctx) + ")";
+    }
+    default:
+      assert(false && "expression rejected by checkVecExpr");
+      return "";
+    }
+  }
+
+  /// Emits one statement of a vectorized loop body: stores become vector
+  /// (or masked) stores, control flow stays scalar.
+  void emitVecStmt(const StmtPtr &S, const VecCtx &Ctx, int Indent,
+                   std::string &Out) {
+    std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+    switch (S->kind()) {
+    case StmtKind::Store: {
+      const Store *St = stmtAs<Store>(S);
+      const char *Sfx = vecSuffix(Ctx.VT);
+      std::string Addr = "&" + St->BufferName + "[" +
+                         linearIndex(St->BufferName, St->Indices) + "]";
+      if (Ctx.Masked)
+        Out += Pad + "ltp_maskstore_" + Sfx + "(" + Addr + ", ltp_mask, " +
+               emitVecExpr(St->Value, Ctx) + ");\n";
+      else
+        Out += Pad + "ltp_vstore_" + Sfx + "(" + Addr + ", " +
+               emitVecExpr(St->Value, Ctx) + ");\n";
+      return;
+    }
+    case StmtKind::For: {
+      const For *F = stmtAs<For>(S);
+      std::string Min = emitExpr(F->Min);
+      Out += Pad +
+             strFormat("for (int64_t %s = %s, %s_end = (%s) + (%s); "
+                       "%s < %s_end; ++%s) {\n",
+                       F->VarName.c_str(), Min.c_str(), F->VarName.c_str(),
+                       Min.c_str(), emitExpr(F->Extent).c_str(),
+                       F->VarName.c_str(), F->VarName.c_str(),
+                       F->VarName.c_str());
+      emitVecStmt(F->Body, Ctx, Indent + 1, Out);
+      Out += Pad + "}\n";
+      return;
+    }
+    case StmtKind::IfThenElse: {
+      const IfThenElse *I = stmtAs<IfThenElse>(S);
+      Out += Pad + "if (" + emitExpr(I->Cond) + ") {\n";
+      emitVecStmt(I->Then, Ctx, Indent + 1, Out);
+      if (I->Else) {
+        Out += Pad + "} else {\n";
+        emitVecStmt(I->Else, Ctx, Indent + 1, Out);
+      }
+      Out += Pad + "}\n";
+      return;
+    }
+    case StmtKind::LetStmt: {
+      const LetStmt *L = stmtAs<LetStmt>(S);
+      Out += Pad + "{\n";
+      Out += Pad + "  const int64_t " + L->Name + " = " +
+             emitExpr(L->Value) + ";\n";
+      emitVecStmt(L->Body, Ctx, Indent + 1, Out);
+      Out += Pad + "}\n";
+      return;
+    }
+    case StmtKind::Block: {
+      for (const StmtPtr &Child : stmtAs<Block>(S)->Stmts)
+        emitVecStmt(Child, Ctx, Indent, Out);
+      return;
+    }
+    }
+    assert(false && "statement rejected by checkVecStmt");
+  }
+
+  /// Builds the vector context for a vectorized loop from the element
+  /// type of the stores in its body; Lanes == 1 means "not profitable".
+  VecCtx makeVecCtx(const For *F) {
+    VecCtx Ctx;
+    Ctx.Var = F->VarName;
+    StoreCollector SC;
+    SC.visitStmt(F->Body);
+    if (SC.Stores.empty())
+      return Ctx;
+    auto It = BufferIndex.find(SC.Stores.front()->BufferName);
+    assert(It != BufferIndex.end() && "store to unknown buffer");
+    Ctx.VT = Signature[It->second].ElemType;
+    if (!vecTypeOK(Ctx.VT))
+      return Ctx;
+    Ctx.Lanes = Options.ISA.lanes(Ctx.VT);
+    return Ctx;
+  }
+
+  /// Explicit SIMD emission of a vectorized loop: a full-width main loop
+  /// plus a masked (AVX2) or scalar epilogue for the non-divisible tail.
+  /// A single direct non-temporal store becomes whole-vector streaming
+  /// stores when the destination is aligned. Returns false when the body
+  /// does not match (the caller falls back to write-combining / pragma).
+  bool tryEmitSimdLoop(const For *F, int Indent, std::string &Out) {
+    if (!Options.ExplicitSIMD)
+      return false;
+    VecCtx Ctx = makeVecCtx(F);
+    if (Ctx.Lanes <= 1)
+      return false;
+
+    // Direct streaming path: the body is exactly one non-temporal store.
+    if (const Store *St = stmtDynAs<Store>(F->Body))
+      if (St->NonTemporal && Options.EnableNonTemporal)
+        return tryEmitSimdStream(F, St, Ctx, Indent, Out);
+
+    std::vector<const Store *> Stores;
+    if (!checkVecStmt(F->Body, Ctx, Stores) || Stores.empty())
+      return false;
+
+    SimdSuffixesUsed.insert(vecSuffix(Ctx.VT));
+    std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+    std::string P2 = Pad + "  ";
+    const std::string &V = F->VarName;
+    Out += Pad + strFormat("{ /* simd %s x%d (%s) */\n", vecSuffix(Ctx.VT),
+                           Ctx.Lanes, Options.ISA.name());
+    Out += P2 + "const int64_t ltp_vmin = " + emitExpr(F->Min) + ";\n";
+    Out += P2 + "const int64_t ltp_vend = ltp_vmin + (" +
+           emitExpr(F->Extent) + ");\n";
+    Out += P2 + strFormat("int64_t %s = ltp_vmin;\n", V.c_str());
+    // -O3 alone does not unroll intrinsic loops; ask for it so short
+    // vector bodies amortize the loop overhead like the autovectorizer's
+    // unrolled epilogue-free main loops do.
+    Out += P2 + "#pragma GCC unroll 4\n";
+    Out += P2 + strFormat("for (; %s + %d <= ltp_vend; %s += %d) {\n",
+                          V.c_str(), Ctx.Lanes, V.c_str(), Ctx.Lanes);
+    ScopeVars.push_back(V);
+    emitVecStmt(F->Body, Ctx, Indent + 2, Out);
+    Out += P2 + "}\n";
+    if (Options.ISA.Level == codegen::SimdLevel::AVX2) {
+      // Masked tail: lanes < rem load/store through a lane mask; masked
+      // lanes read as zero, which is safe for the supported operators.
+      const char *MaskFn =
+          Ctx.VT == Type::float64() ? "ltp_tailmask_64" : "ltp_tailmask_32";
+      if (Ctx.VT == Type::float64())
+        UsedMask64 = true;
+      else
+        UsedMask32 = true;
+      Out += P2 + strFormat("if (%s < ltp_vend) {\n", V.c_str());
+      Out += P2 + strFormat("  const __m256i ltp_mask = %s(ltp_vend - %s);"
+                            "\n",
+                            MaskFn, V.c_str());
+      VecCtx Masked = Ctx;
+      Masked.Masked = true;
+      emitVecStmt(F->Body, Masked, Indent + 2, Out);
+      Out += P2 + "}\n";
+    } else {
+      Out += P2 + strFormat("for (; %s < ltp_vend; ++%s) {\n", V.c_str(),
+                            V.c_str());
+      emitStmt(F->Body, Indent + 2, Out);
+      Out += P2 + "}\n";
+    }
+    ScopeVars.pop_back();
+    Out += Pad + "}\n";
+    return true;
+  }
+
+  /// Whole-vector streaming stores for `for v: Buf[...] = value` when the
+  /// value is vectorizable: aligned main loop with ltp_vstream, scalar
+  /// streaming stores for the tail and the unaligned fallback.
+  bool tryEmitSimdStream(const For *F, const Store *St, const VecCtx &Ctx,
+                         int Indent, std::string &Out) {
+    auto C = accessCoeff(St->BufferName, St->Indices, Ctx.Var);
+    if (!C || *C != 1)
+      return false;
+    if (St->Value->type() != Ctx.VT || !checkVecExpr(St->Value, Ctx))
+      return false;
+    auto It = BufferIndex.find(St->BufferName);
+    const BufferBinding &Binding = Signature[It->second];
+
+    const char *Sfx = vecSuffix(Ctx.VT);
+    const char *ScalarFn = Ctx.VT == Type::float32()
+                               ? "ltp_stream_store_f32"
+                           : Ctx.VT == Type::float64()
+                               ? "ltp_stream_store_f64"
+                               : "ltp_stream_store_u32";
+    SimdSuffixesUsed.insert(Sfx);
+
+    std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+    std::string P2 = Pad + "  ";
+    std::string P3 = Pad + "    ";
+    const std::string &V = F->VarName;
+    std::string CType = Binding.ElemType.cName();
+    Out += Pad + strFormat("{ /* simd stream %s x%d (%s) */\n", Sfx,
+                           Ctx.Lanes, Options.ISA.name());
+    Out += P2 + "const int64_t ltp_vmin = " + emitExpr(F->Min) + ";\n";
+    Out += P2 + "const int64_t ltp_vend = ltp_vmin + (" +
+           emitExpr(F->Extent) + ");\n";
+    Out += P2 + CType + " *ltp_dst0;\n";
+    Out += P2 + "{\n";
+    Out += P3 + strFormat("const int64_t %s = ltp_vmin;\n", V.c_str());
+    Out += P3 + strFormat("(void)%s;\n", V.c_str());
+    Out += P3 + strFormat("ltp_dst0 = &%s[", St->BufferName.c_str()) +
+           linearIndex(St->BufferName, St->Indices) + "];\n";
+    Out += P2 + "}\n";
+    Out += P2 + strFormat("int64_t %s = ltp_vmin;\n", V.c_str());
+    Out += P2 + strFormat("if (((uintptr_t)ltp_dst0 & %d) == 0) {\n",
+                          Options.ISA.vectorBytes() - 1);
+    Out += P3 + "#pragma GCC unroll 4\n";
+    Out += P3 + strFormat("for (; %s + %d <= ltp_vend; %s += %d)\n",
+                          V.c_str(), Ctx.Lanes, V.c_str(), Ctx.Lanes);
+    Out += P3 + strFormat("  ltp_vstream_%s(&%s[", Sfx,
+                          St->BufferName.c_str()) +
+           linearIndex(St->BufferName, St->Indices) + "], " +
+           emitVecExpr(St->Value, Ctx) + ");\n";
+    Out += P2 + "}\n";
+    Out += P2 + strFormat("for (; %s < ltp_vend; ++%s)\n", V.c_str(),
+                          V.c_str());
+    Out += P2 + strFormat("  %s(&%s[", ScalarFn, St->BufferName.c_str()) +
+           linearIndex(St->BufferName, St->Indices) + "], (" + CType +
+           ")(" + emitExpr(St->Value) + "));\n";
+    Out += Pad + "}\n";
+    return true;
+  }
+
+  /// Raw register type of a vector of \p VT at the selected ISA.
+  const char *vecCType(Type VT) const {
+    bool AVX2 = Options.ISA.Level == codegen::SimdLevel::AVX2;
+    if (VT == Type::float32())
+      return AVX2 ? "__m256" : "__m128";
+    if (VT == Type::float64())
+      return AVX2 ? "__m256d" : "__m128d";
+    return AVX2 ? "__m256i" : "__m128i";
+  }
+
+  /// The register-accumulator form of a jammed loop. When the (single)
+  /// store of the vectorized body is an accumulation (value combines a
+  /// self-reference load with a rest term) and its address is invariant
+  /// in a suffix of the intervening loops, the vector loop is
+  /// interchanged with that suffix: per jam copy the accumulator vector
+  /// is loaded once, updated in registers across the whole reduction,
+  /// and stored once. This is the register tiling that `-fno-loop-
+  /// unroll-and-jam` keeps the host compiler from doing on its own —
+  /// on matmul-shaped kernels it removes the accumulator load/store
+  /// from the innermost loop entirely.
+  bool tryEmitJammedAccumulator(const For *UJ,
+                                const std::vector<const For *> &Mid,
+                                const For *Vec, const VecCtx &Ctx,
+                                int64_t U, bool NeedGuard, int Indent,
+                                std::string &Out) {
+    const std::string &UV = UJ->VarName;
+    const Store *St = stmtDynAs<Store>(Vec->Body);
+    if (!St)
+      return false;
+
+    // The value must be `self <op> rest` (or `rest <op> self`) with a
+    // commutative operator that has a vector form.
+    const Binary *B = exprDynAs<Binary>(St->Value);
+    if (!B || !vecOpSupported(B->Op, Ctx.VT))
+      return false;
+    if (B->Op != BinOp::Add && B->Op != BinOp::Mul &&
+        B->Op != BinOp::Min && B->Op != BinOp::Max)
+      return false;
+    std::string StoreIdx = linearIndex(St->BufferName, St->Indices);
+    auto IsSelf = [&](const ExprPtr &E) {
+      const Load *L = exprDynAs<Load>(E);
+      return L && L->BufferName == St->BufferName &&
+             linearIndex(L->BufferName, L->Indices) == StoreIdx;
+    };
+    ExprPtr Rest;
+    if (IsSelf(B->A))
+      Rest = B->B;
+    else if (IsSelf(B->B))
+      Rest = B->A;
+    else
+      return false;
+    // The rest term must not read the written buffer (the jam legality
+    // pass only guarantees self-references match the store address).
+    LoadCollector RC;
+    RC.visitExpr(Rest);
+    for (const Load *L : RC.Loads)
+      if (L->BufferName == St->BufferName)
+        return false;
+
+    // Longest suffix of the intervening loops the accumulator address
+    // and the vector bounds are invariant in; those interchange inward.
+    size_t FirstInner = Mid.size();
+    while (FirstInner > 0) {
+      const std::string &MV = Mid[FirstInner - 1]->VarName;
+      bool Invariant = !exprContainsVar(Vec->Min, MV) &&
+                       !exprContainsVar(Vec->Extent, MV);
+      for (const ExprPtr &Idx : St->Indices)
+        if (exprContainsVar(Idx, MV))
+          Invariant = false;
+      if (!Invariant)
+        break;
+      --FirstInner;
+    }
+    if (FirstInner == Mid.size())
+      return false; // nothing to hoist across
+
+    const char *Sfx = vecSuffix(Ctx.VT);
+    SimdSuffixesUsed.insert(Sfx);
+    auto Pad = [](int I) {
+      return std::string(static_cast<size_t>(I) * 2, ' ');
+    };
+    auto PerCopy = [&](int Ind, std::string &Dst, auto EmitOne) {
+      for (int64_t Copy = 0; Copy != U; ++Copy) {
+        Dst += Pad(Ind) + "{\n";
+        Dst += Pad(Ind + 1) +
+               strFormat("const int64_t %s = ltp_uj_min + %lld;\n",
+                         UV.c_str(), static_cast<long long>(Copy));
+        EmitOne(Copy, Ind + 1);
+        Dst += Pad(Ind) + "}\n";
+      }
+    };
+
+    Out += Pad(Indent) +
+           strFormat("{ /* unroll_jam %s x%lld, register accumulators */\n",
+                     UV.c_str(), static_cast<long long>(U));
+    Out += Pad(Indent + 1) + "const int64_t ltp_uj_min = " +
+           emitExpr(UJ->Min) + ";\n";
+    Out += Pad(Indent + 1) + "const int64_t ltp_uj_ext = " +
+           emitExpr(UJ->Extent) + ";\n";
+    int Ind = Indent + 1;
+    if (NeedGuard) {
+      Out += Pad(Ind) + strFormat("if (ltp_uj_ext == %lld) {\n",
+                                  static_cast<long long>(U));
+      ++Ind;
+    } else {
+      Out += Pad(Ind) + "(void)ltp_uj_ext;\n";
+    }
+    ScopeVars.push_back(UV);
+
+    // Loops the accumulator address depends on stay outside.
+    for (size_t M = 0; M != FirstInner; ++M) {
+      const For *F = Mid[M];
+      std::string Min = emitExpr(F->Min);
+      Out += Pad(Ind) +
+             strFormat("for (int64_t %s = %s, %s_end = (%s) + (%s); "
+                       "%s < %s_end; ++%s) {\n",
+                       F->VarName.c_str(), Min.c_str(), F->VarName.c_str(),
+                       Min.c_str(), emitExpr(F->Extent).c_str(),
+                       F->VarName.c_str(), F->VarName.c_str(),
+                       F->VarName.c_str());
+      ScopeVars.push_back(F->VarName);
+      ++Ind;
+    }
+
+    const std::string &V = Vec->VarName;
+    Out += Pad(Ind) + "{\n";
+    ++Ind;
+    Out += Pad(Ind) + "const int64_t ltp_vmin = " + emitExpr(Vec->Min) +
+           ";\n";
+    Out += Pad(Ind) + "const int64_t ltp_vend = ltp_vmin + (" +
+           emitExpr(Vec->Extent) + ");\n";
+    Out += Pad(Ind) + strFormat("int64_t %s = ltp_vmin;\n", V.c_str());
+    ScopeVars.push_back(V);
+    Out += Pad(Ind) + strFormat("for (; %s + %d <= ltp_vend; %s += %d) {\n",
+                                V.c_str(), Ctx.Lanes, V.c_str(), Ctx.Lanes);
+
+    // Load the accumulators.
+    for (int64_t Copy = 0; Copy != U; ++Copy)
+      Out += Pad(Ind + 1) + strFormat("%s ltp_acc_%lld;\n", vecCType(Ctx.VT),
+                                      static_cast<long long>(Copy));
+    PerCopy(Ind + 1, Out, [&](int64_t Copy, int I2) {
+      Out += Pad(I2) +
+             strFormat("ltp_acc_%lld = ltp_vload_%s(&%s[",
+                       static_cast<long long>(Copy), Sfx,
+                       St->BufferName.c_str()) +
+             linearIndex(St->BufferName, St->Indices) + "]);\n";
+    });
+
+    // The interchanged reduction loops, combining in registers.
+    int RedInd = Ind + 1;
+    for (size_t M = FirstInner; M != Mid.size(); ++M) {
+      const For *F = Mid[M];
+      std::string Min = emitExpr(F->Min);
+      Out += Pad(RedInd) +
+             strFormat("for (int64_t %s = %s, %s_end = (%s) + (%s); "
+                       "%s < %s_end; ++%s) {\n",
+                       F->VarName.c_str(), Min.c_str(), F->VarName.c_str(),
+                       Min.c_str(), emitExpr(F->Extent).c_str(),
+                       F->VarName.c_str(), F->VarName.c_str(),
+                       F->VarName.c_str());
+      ScopeVars.push_back(F->VarName);
+      ++RedInd;
+    }
+    PerCopy(RedInd, Out, [&](int64_t Copy, int I2) {
+      std::string Acc = strFormat("ltp_acc_%lld",
+                                  static_cast<long long>(Copy));
+      const Binary *RM = exprDynAs<Binary>(Rest);
+      if (Ctx.VT.isFloat() && B->Op == BinOp::Add && RM &&
+          RM->Op == BinOp::Mul)
+        Out += Pad(I2) + Acc + " = ltp_vfma_" + Sfx + "(" +
+               emitVecExpr(RM->A, Ctx) + ", " + emitVecExpr(RM->B, Ctx) +
+               ", " + Acc + ");\n";
+      else
+        Out += Pad(I2) + Acc + " = " + vecOpFn(B->Op, Ctx.VT) + "(" + Acc +
+               ", " + emitVecExpr(Rest, Ctx) + ");\n";
+    });
+    for (size_t M = FirstInner; M != Mid.size(); ++M) {
+      ScopeVars.pop_back();
+      --RedInd;
+      Out += Pad(RedInd) + "}\n";
+    }
+
+    // Store the accumulators.
+    PerCopy(Ind + 1, Out, [&](int64_t Copy, int I2) {
+      Out += Pad(I2) +
+             strFormat("ltp_vstore_%s(&%s[", Sfx, St->BufferName.c_str()) +
+             linearIndex(St->BufferName, St->Indices) +
+             strFormat("], ltp_acc_%lld);\n",
+                       static_cast<long long>(Copy));
+    });
+    Out += Pad(Ind) + "}\n";
+
+    // Scalar tail: the original (un-interchanged) nest per element.
+    Out += Pad(Ind) + strFormat("for (; %s < ltp_vend; ++%s) {\n",
+                                V.c_str(), V.c_str());
+    int TailInd = Ind + 1;
+    for (size_t M = FirstInner; M != Mid.size(); ++M) {
+      const For *F = Mid[M];
+      std::string Min = emitExpr(F->Min);
+      Out += Pad(TailInd) +
+             strFormat("for (int64_t %s = %s, %s_end = (%s) + (%s); "
+                       "%s < %s_end; ++%s) {\n",
+                       F->VarName.c_str(), Min.c_str(), F->VarName.c_str(),
+                       Min.c_str(), emitExpr(F->Extent).c_str(),
+                       F->VarName.c_str(), F->VarName.c_str(),
+                       F->VarName.c_str());
+      ScopeVars.push_back(F->VarName);
+      ++TailInd;
+    }
+    PerCopy(TailInd, Out, [&](int64_t /*Copy*/, int I2) {
+      emitStmt(Vec->Body, I2, Out);
+    });
+    for (size_t M = FirstInner; M != Mid.size(); ++M) {
+      ScopeVars.pop_back();
+      --TailInd;
+      Out += Pad(TailInd) + "}\n";
+    }
+    Out += Pad(Ind) + "}\n";
+    ScopeVars.pop_back(); // V
+    --Ind;
+    Out += Pad(Ind) + "}\n";
+
+    for (size_t M = 0; M != FirstInner; ++M) {
+      ScopeVars.pop_back();
+      --Ind;
+      Out += Pad(Ind) + "}\n";
+    }
+    ScopeVars.pop_back(); // UV
+    if (NeedGuard) {
+      Out += Pad(Indent + 1) + "} else {\n";
+      Out += Pad(Indent + 2) +
+             strFormat("for (int64_t %s = ltp_uj_min, %s_end = ltp_uj_min "
+                       "+ ltp_uj_ext; %s < %s_end; ++%s) {\n",
+                       UV.c_str(), UV.c_str(), UV.c_str(), UV.c_str(),
+                       UV.c_str());
+      ScopeVars.push_back(UV);
+      emitStmt(UJ->Body, Indent + 3, Out);
+      ScopeVars.pop_back();
+      Out += Pad(Indent + 2) + "}\n";
+      Out += Pad(Indent + 1) + "}\n";
+    }
+    Out += Pad(Indent) + "}\n";
+    return true;
+  }
+
+  /// Register tiling: emits an UnrollJammed loop whose body nests (through
+  /// serial loops) down to a vectorized loop as U unrolled copies *inside*
+  /// that vector loop, so each copy's accumulator can be register-promoted
+  /// across the intervening (reduction) loops. Falls back (returns false)
+  /// unless the jam is provably legal: every store advances with the jam
+  /// variable, and loads from a written buffer are self-references.
+  bool tryEmitJammedLoop(const For *UJ, int Indent, std::string &Out) {
+    if (!Options.ExplicitSIMD)
+      return false;
+    const std::string &UV = UJ->VarName;
+
+    // Chain: UJ -> zero or more serial loops -> the vectorized loop.
+    std::vector<const For *> Mid;
+    const For *Vec = nullptr;
+    for (StmtPtr Cur = UJ->Body;;) {
+      const For *F = stmtDynAs<For>(Cur);
+      if (!F)
+        return false;
+      if (F->Kind == ForKind::Vectorized) {
+        Vec = F;
+        break;
+      }
+      if (F->Kind != ForKind::Serial && F->Kind != ForKind::Unrolled)
+        return false;
+      if (exprContainsVar(F->Min, UV) || exprContainsVar(F->Extent, UV))
+        return false;
+      Mid.push_back(F);
+      Cur = F->Body;
+    }
+    if (exprContainsVar(Vec->Min, UV) || exprContainsVar(Vec->Extent, UV))
+      return false;
+
+    VecCtx Ctx = makeVecCtx(Vec);
+    if (Ctx.Lanes <= 1)
+      return false;
+    std::vector<const Store *> Stores;
+    if (!checkVecStmt(Vec->Body, Ctx, Stores) || Stores.empty())
+      return false;
+
+    // Jam legality. Each unrolled copy must write distinct addresses …
+    std::map<std::string, std::string> StoreIndexByBuffer;
+    for (const Store *St : Stores) {
+      auto CJ = accessCoeff(St->BufferName, St->Indices, UV);
+      if (!CJ || *CJ == 0)
+        return false;
+      std::string Idx = linearIndex(St->BufferName, St->Indices);
+      auto [It, Inserted] =
+          StoreIndexByBuffer.emplace(St->BufferName, Idx);
+      if (!Inserted && It->second != Idx)
+        return false;
+    }
+    // … and reads of a written buffer must be self-references (the
+    // accumulation pattern), or the interchange would break a dependence.
+    LoadCollector LC;
+    LC.visitStmt(Vec->Body);
+    for (const Load *L : LC.Loads) {
+      auto It = StoreIndexByBuffer.find(L->BufferName);
+      if (It == StoreIndexByBuffer.end())
+        continue;
+      if (linearIndex(L->BufferName, L->Indices) != It->second)
+        return false;
+    }
+
+    // The unroll factor: a constant extent, or the min(factor, rest)
+    // guard the splitter emits — then a runtime full-tile check.
+    int64_t U = 0;
+    bool NeedGuard = false;
+    if (const IntImm *I = exprDynAs<IntImm>(UJ->Extent)) {
+      U = I->Value;
+    } else if (const Binary *B = exprDynAs<Binary>(UJ->Extent);
+               B && B->Op == BinOp::Min) {
+      const IntImm *I = exprDynAs<IntImm>(B->A);
+      if (!I)
+        I = exprDynAs<IntImm>(B->B);
+      if (I) {
+        U = I->Value;
+        NeedGuard = true;
+      }
+    }
+    if (U < 2 || U > 8)
+      return false;
+
+    // Prefer the register-accumulator form (accumulators hoisted out of
+    // the reduction loops); fall back to re-emitting the body per copy.
+    if (Stores.size() == 1 &&
+        tryEmitJammedAccumulator(UJ, Mid, Vec, Ctx, U, NeedGuard, Indent,
+                                 Out))
+      return true;
+
+    SimdSuffixesUsed.insert(vecSuffix(Ctx.VT));
+    auto Pad = [](int I) {
+      return std::string(static_cast<size_t>(I) * 2, ' ');
+    };
+    Out += Pad(Indent) + strFormat("{ /* unroll_jam %s x%lld */\n",
+                                   UV.c_str(), static_cast<long long>(U));
+    Out += Pad(Indent + 1) + "const int64_t ltp_uj_min = " +
+           emitExpr(UJ->Min) + ";\n";
+    Out += Pad(Indent + 1) + "const int64_t ltp_uj_ext = " +
+           emitExpr(UJ->Extent) + ";\n";
+    int Ind = Indent + 1;
+    if (NeedGuard) {
+      Out += Pad(Ind) + strFormat("if (ltp_uj_ext == %lld) {\n",
+                                  static_cast<long long>(U));
+      ++Ind;
+    } else {
+      Out += Pad(Ind) + "(void)ltp_uj_ext;\n";
+    }
+    ScopeVars.push_back(UV);
+    // Single instances of the intervening loops, jam copies innermost.
+    for (const For *M : Mid) {
+      std::string Min = emitExpr(M->Min);
+      Out += Pad(Ind) +
+             strFormat("for (int64_t %s = %s, %s_end = (%s) + (%s); "
+                       "%s < %s_end; ++%s) {\n",
+                       M->VarName.c_str(), Min.c_str(), M->VarName.c_str(),
+                       Min.c_str(), emitExpr(M->Extent).c_str(),
+                       M->VarName.c_str(), M->VarName.c_str(),
+                       M->VarName.c_str());
+      ScopeVars.push_back(M->VarName);
+      ++Ind;
+    }
+    const std::string &V = Vec->VarName;
+    Out += Pad(Ind) + "{\n";
+    ++Ind;
+    Out += Pad(Ind) + "const int64_t ltp_vmin = " + emitExpr(Vec->Min) +
+           ";\n";
+    Out += Pad(Ind) + "const int64_t ltp_vend = ltp_vmin + (" +
+           emitExpr(Vec->Extent) + ");\n";
+    Out += Pad(Ind) + strFormat("int64_t %s = ltp_vmin;\n", V.c_str());
+    Out += Pad(Ind) + strFormat("for (; %s + %d <= ltp_vend; %s += %d) {\n",
+                                V.c_str(), Ctx.Lanes, V.c_str(), Ctx.Lanes);
+    for (int64_t Copy = 0; Copy != U; ++Copy) {
+      Out += Pad(Ind + 1) + "{\n";
+      Out += Pad(Ind + 2) +
+             strFormat("const int64_t %s = ltp_uj_min + %lld;\n",
+                       UV.c_str(), static_cast<long long>(Copy));
+      emitVecStmt(Vec->Body, Ctx, Ind + 2, Out);
+      Out += Pad(Ind + 1) + "}\n";
+    }
+    Out += Pad(Ind) + "}\n";
+    Out += Pad(Ind) + strFormat("for (; %s < ltp_vend; ++%s) {\n",
+                                V.c_str(), V.c_str());
+    for (int64_t Copy = 0; Copy != U; ++Copy) {
+      Out += Pad(Ind + 1) + "{\n";
+      Out += Pad(Ind + 2) +
+             strFormat("const int64_t %s = ltp_uj_min + %lld;\n",
+                       UV.c_str(), static_cast<long long>(Copy));
+      emitStmt(Vec->Body, Ind + 2, Out);
+      Out += Pad(Ind + 1) + "}\n";
+    }
+    Out += Pad(Ind) + "}\n";
+    --Ind;
+    Out += Pad(Ind) + "}\n";
+    for (auto It = Mid.rbegin(); It != Mid.rend(); ++It) {
+      (void)It;
+      ScopeVars.pop_back();
+      --Ind;
+      Out += Pad(Ind) + "}\n";
+    }
+    ScopeVars.pop_back();
+    if (NeedGuard) {
+      // Partial tile: plain serial emission of the original nest.
+      Out += Pad(Indent + 1) + "} else {\n";
+      Out += Pad(Indent + 2) +
+             strFormat("for (int64_t %s = ltp_uj_min, %s_end = ltp_uj_min "
+                       "+ ltp_uj_ext; %s < %s_end; ++%s) {\n",
+                       UV.c_str(), UV.c_str(), UV.c_str(), UV.c_str(),
+                       UV.c_str());
+      ScopeVars.push_back(UV);
+      emitStmt(UJ->Body, Indent + 3, Out);
+      ScopeVars.pop_back();
+      Out += Pad(Indent + 2) + "}\n";
+      Out += Pad(Indent + 1) + "}\n";
+    }
+    Out += Pad(Indent) + "}\n";
+    return true;
+  }
+
   /// Outlines a parallel loop body into a closure-taking function and
   /// emits the dispatch through the runtime's parallel_for hook.
   void emitParallelFor(const For *F, int Indent, std::string &Out) {
@@ -475,7 +1394,7 @@ private:
     Out += "/* Generated by ltp codegen; do not edit. */\n";
     Out += "#include <stdint.h>\n";
     Out += "#include <stddef.h>\n";
-    Out += "#if defined(__SSE2__)\n#include <emmintrin.h>\n#endif\n\n";
+    Out += "#if defined(__SSE2__)\n#include <immintrin.h>\n#endif\n\n";
     Out += "typedef struct ltp_jit_runtime {\n"
            "  void (*parallel_for)(const struct ltp_jit_runtime *rt,\n"
            "                       int64_t min, int64_t extent,\n"
@@ -519,6 +1438,21 @@ private:
            "static inline void ltp_stream_fence(void) { _mm_sfence(); }\n"
            "/* 64-element (256B) block flush for software write-combined\n"
            "   non-temporal stores; source is 64B aligned. */\n"
+           "#if defined(__AVX2__)\n"
+           "static inline void ltp_stream_block_u32(uint32_t *dst,\n"
+           "                                        const uint32_t *src) {\n"
+           "  for (int i = 0; i != 8; ++i)\n"
+           "    _mm256_stream_si256((__m256i *)(void *)(dst + 8 * i),\n"
+           "                        _mm256_load_si256((const __m256i *)"
+           "(const void *)(src + 8 * i)));\n"
+           "}\n"
+           "static inline void ltp_stream_block_f32(float *dst,\n"
+           "                                        const float *src) {\n"
+           "  for (int i = 0; i != 8; ++i)\n"
+           "    _mm256_stream_ps(dst + 8 * i, _mm256_load_ps(src + 8 * i));"
+           "\n"
+           "}\n"
+           "#else\n"
            "static inline void ltp_stream_block_u32(uint32_t *dst,\n"
            "                                        const uint32_t *src) {\n"
            "  for (int i = 0; i != 16; ++i)\n"
@@ -531,6 +1465,7 @@ private:
            "  for (int i = 0; i != 16; ++i)\n"
            "    _mm_stream_ps(dst + 4 * i, _mm_load_ps(src + 4 * i));\n"
            "}\n"
+           "#endif\n"
            "#else\n"
            "static inline void ltp_stream_store_u32(void *p, uint32_t v) "
            "{ *(uint32_t *)p = v; }\n"
@@ -553,6 +1488,201 @@ private:
     return Out;
   }
 
+  /// Defines the ltp_v* vector helpers for the suffixes the kernel body
+  /// used, at the width of the selected ISA. Emitted after the body so
+  /// only referenced helpers are defined (keeps host-compile time down).
+  std::string simdPreamble() const {
+    if (SimdSuffixesUsed.empty())
+      return "";
+    const bool AVX2 = Options.ISA.Level == codegen::SimdLevel::AVX2;
+    std::string Out;
+    Out += strFormat("/* Explicit SIMD helpers (%s). */\n",
+                     Options.ISA.name());
+    if (SimdSuffixesUsed.count("f32")) {
+      if (AVX2)
+        Out +=
+            "static inline __m256 ltp_vload_f32(const float *p) "
+            "{ return _mm256_loadu_ps(p); }\n"
+            "static inline void ltp_vstore_f32(float *p, __m256 v) "
+            "{ _mm256_storeu_ps(p, v); }\n"
+            "static inline void ltp_vstream_f32(float *p, __m256 v) "
+            "{ _mm256_stream_ps(p, v); }\n"
+            "static inline __m256 ltp_vset1_f32(float x) "
+            "{ return _mm256_set1_ps(x); }\n"
+            "static inline __m256 ltp_vadd_f32(__m256 a, __m256 b) "
+            "{ return _mm256_add_ps(a, b); }\n"
+            "static inline __m256 ltp_vsub_f32(__m256 a, __m256 b) "
+            "{ return _mm256_sub_ps(a, b); }\n"
+            "static inline __m256 ltp_vmul_f32(__m256 a, __m256 b) "
+            "{ return _mm256_mul_ps(a, b); }\n"
+            "static inline __m256 ltp_vdiv_f32(__m256 a, __m256 b) "
+            "{ return _mm256_div_ps(a, b); }\n"
+            "static inline __m256 ltp_vmin_f32(__m256 a, __m256 b) "
+            "{ return _mm256_min_ps(a, b); }\n"
+            "static inline __m256 ltp_vmax_f32(__m256 a, __m256 b) "
+            "{ return _mm256_max_ps(a, b); }\n"
+            "static inline __m256 ltp_vfma_f32(__m256 a, __m256 b, "
+            "__m256 c) { return _mm256_fmadd_ps(a, b, c); }\n"
+            "static inline __m256 ltp_maskload_f32(const float *p, "
+            "__m256i m) { return _mm256_maskload_ps(p, m); }\n"
+            "static inline void ltp_maskstore_f32(float *p, __m256i m, "
+            "__m256 v) { _mm256_maskstore_ps(p, m, v); }\n";
+      else
+        Out +=
+            "static inline __m128 ltp_vload_f32(const float *p) "
+            "{ return _mm_loadu_ps(p); }\n"
+            "static inline void ltp_vstore_f32(float *p, __m128 v) "
+            "{ _mm_storeu_ps(p, v); }\n"
+            "static inline void ltp_vstream_f32(float *p, __m128 v) "
+            "{ _mm_stream_ps(p, v); }\n"
+            "static inline __m128 ltp_vset1_f32(float x) "
+            "{ return _mm_set1_ps(x); }\n"
+            "static inline __m128 ltp_vadd_f32(__m128 a, __m128 b) "
+            "{ return _mm_add_ps(a, b); }\n"
+            "static inline __m128 ltp_vsub_f32(__m128 a, __m128 b) "
+            "{ return _mm_sub_ps(a, b); }\n"
+            "static inline __m128 ltp_vmul_f32(__m128 a, __m128 b) "
+            "{ return _mm_mul_ps(a, b); }\n"
+            "static inline __m128 ltp_vdiv_f32(__m128 a, __m128 b) "
+            "{ return _mm_div_ps(a, b); }\n"
+            "static inline __m128 ltp_vmin_f32(__m128 a, __m128 b) "
+            "{ return _mm_min_ps(a, b); }\n"
+            "static inline __m128 ltp_vmax_f32(__m128 a, __m128 b) "
+            "{ return _mm_max_ps(a, b); }\n"
+            "static inline __m128 ltp_vfma_f32(__m128 a, __m128 b, "
+            "__m128 c) { return _mm_add_ps(_mm_mul_ps(a, b), c); }\n";
+    }
+    if (SimdSuffixesUsed.count("f64")) {
+      if (AVX2)
+        Out +=
+            "static inline __m256d ltp_vload_f64(const double *p) "
+            "{ return _mm256_loadu_pd(p); }\n"
+            "static inline void ltp_vstore_f64(double *p, __m256d v) "
+            "{ _mm256_storeu_pd(p, v); }\n"
+            "static inline void ltp_vstream_f64(double *p, __m256d v) "
+            "{ _mm256_stream_pd(p, v); }\n"
+            "static inline __m256d ltp_vset1_f64(double x) "
+            "{ return _mm256_set1_pd(x); }\n"
+            "static inline __m256d ltp_vadd_f64(__m256d a, __m256d b) "
+            "{ return _mm256_add_pd(a, b); }\n"
+            "static inline __m256d ltp_vsub_f64(__m256d a, __m256d b) "
+            "{ return _mm256_sub_pd(a, b); }\n"
+            "static inline __m256d ltp_vmul_f64(__m256d a, __m256d b) "
+            "{ return _mm256_mul_pd(a, b); }\n"
+            "static inline __m256d ltp_vdiv_f64(__m256d a, __m256d b) "
+            "{ return _mm256_div_pd(a, b); }\n"
+            "static inline __m256d ltp_vmin_f64(__m256d a, __m256d b) "
+            "{ return _mm256_min_pd(a, b); }\n"
+            "static inline __m256d ltp_vmax_f64(__m256d a, __m256d b) "
+            "{ return _mm256_max_pd(a, b); }\n"
+            "static inline __m256d ltp_vfma_f64(__m256d a, __m256d b, "
+            "__m256d c) { return _mm256_fmadd_pd(a, b, c); }\n"
+            "static inline __m256d ltp_maskload_f64(const double *p, "
+            "__m256i m) { return _mm256_maskload_pd(p, m); }\n"
+            "static inline void ltp_maskstore_f64(double *p, __m256i m, "
+            "__m256d v) { _mm256_maskstore_pd(p, m, v); }\n";
+      else
+        Out +=
+            "static inline __m128d ltp_vload_f64(const double *p) "
+            "{ return _mm_loadu_pd(p); }\n"
+            "static inline void ltp_vstore_f64(double *p, __m128d v) "
+            "{ _mm_storeu_pd(p, v); }\n"
+            "static inline void ltp_vstream_f64(double *p, __m128d v) "
+            "{ _mm_stream_pd(p, v); }\n"
+            "static inline __m128d ltp_vset1_f64(double x) "
+            "{ return _mm_set1_pd(x); }\n"
+            "static inline __m128d ltp_vadd_f64(__m128d a, __m128d b) "
+            "{ return _mm_add_pd(a, b); }\n"
+            "static inline __m128d ltp_vsub_f64(__m128d a, __m128d b) "
+            "{ return _mm_sub_pd(a, b); }\n"
+            "static inline __m128d ltp_vmul_f64(__m128d a, __m128d b) "
+            "{ return _mm_mul_pd(a, b); }\n"
+            "static inline __m128d ltp_vdiv_f64(__m128d a, __m128d b) "
+            "{ return _mm_div_pd(a, b); }\n"
+            "static inline __m128d ltp_vmin_f64(__m128d a, __m128d b) "
+            "{ return _mm_min_pd(a, b); }\n"
+            "static inline __m128d ltp_vmax_f64(__m128d a, __m128d b) "
+            "{ return _mm_max_pd(a, b); }\n"
+            "static inline __m128d ltp_vfma_f64(__m128d a, __m128d b, "
+            "__m128d c) { return _mm_add_pd(_mm_mul_pd(a, b), c); }\n";
+    }
+    if (SimdSuffixesUsed.count("i32")) {
+      // Int32 and UInt32 share these; pointers are void* so both element
+      // types bind without casts at the call sites.
+      if (AVX2)
+        Out +=
+            "static inline __m256i ltp_vload_i32(const void *p) "
+            "{ return _mm256_loadu_si256((const __m256i *)p); }\n"
+            "static inline void ltp_vstore_i32(void *p, __m256i v) "
+            "{ _mm256_storeu_si256((__m256i *)p, v); }\n"
+            "static inline void ltp_vstream_i32(void *p, __m256i v) "
+            "{ _mm256_stream_si256((__m256i *)p, v); }\n"
+            "static inline __m256i ltp_vset1_i32(uint32_t x) "
+            "{ return _mm256_set1_epi32((int32_t)x); }\n"
+            "static inline __m256i ltp_vadd_i32(__m256i a, __m256i b) "
+            "{ return _mm256_add_epi32(a, b); }\n"
+            "static inline __m256i ltp_vsub_i32(__m256i a, __m256i b) "
+            "{ return _mm256_sub_epi32(a, b); }\n"
+            "static inline __m256i ltp_vmul_i32(__m256i a, __m256i b) "
+            "{ return _mm256_mullo_epi32(a, b); }\n"
+            "static inline __m256i ltp_vmin_i32(__m256i a, __m256i b) "
+            "{ return _mm256_min_epi32(a, b); }\n"
+            "static inline __m256i ltp_vmax_i32(__m256i a, __m256i b) "
+            "{ return _mm256_max_epi32(a, b); }\n"
+            "static inline __m256i ltp_vmin_u32(__m256i a, __m256i b) "
+            "{ return _mm256_min_epu32(a, b); }\n"
+            "static inline __m256i ltp_vmax_u32(__m256i a, __m256i b) "
+            "{ return _mm256_max_epu32(a, b); }\n"
+            "static inline __m256i ltp_vand_i32(__m256i a, __m256i b) "
+            "{ return _mm256_and_si256(a, b); }\n"
+            "static inline __m256i ltp_vor_i32(__m256i a, __m256i b) "
+            "{ return _mm256_or_si256(a, b); }\n"
+            "static inline __m256i ltp_vxor_i32(__m256i a, __m256i b) "
+            "{ return _mm256_xor_si256(a, b); }\n"
+            "static inline __m256i ltp_maskload_i32(const void *p, "
+            "__m256i m) { return _mm256_maskload_epi32((const int *)p, m); "
+            "}\n"
+            "static inline void ltp_maskstore_i32(void *p, __m256i m, "
+            "__m256i v) { _mm256_maskstore_epi32((int *)p, m, v); }\n";
+      else
+        Out +=
+            "static inline __m128i ltp_vload_i32(const void *p) "
+            "{ return _mm_loadu_si128((const __m128i *)p); }\n"
+            "static inline void ltp_vstore_i32(void *p, __m128i v) "
+            "{ _mm_storeu_si128((__m128i *)p, v); }\n"
+            "static inline void ltp_vstream_i32(void *p, __m128i v) "
+            "{ _mm_stream_si128((__m128i *)p, v); }\n"
+            "static inline __m128i ltp_vset1_i32(uint32_t x) "
+            "{ return _mm_set1_epi32((int32_t)x); }\n"
+            "static inline __m128i ltp_vadd_i32(__m128i a, __m128i b) "
+            "{ return _mm_add_epi32(a, b); }\n"
+            "static inline __m128i ltp_vsub_i32(__m128i a, __m128i b) "
+            "{ return _mm_sub_epi32(a, b); }\n"
+            "static inline __m128i ltp_vand_i32(__m128i a, __m128i b) "
+            "{ return _mm_and_si128(a, b); }\n"
+            "static inline __m128i ltp_vor_i32(__m128i a, __m128i b) "
+            "{ return _mm_or_si128(a, b); }\n"
+            "static inline __m128i ltp_vxor_i32(__m128i a, __m128i b) "
+            "{ return _mm_xor_si128(a, b); }\n";
+    }
+    if (UsedMask32)
+      Out += "/* Lane mask for an N-element tail (N in [1, 8)). */\n"
+             "static inline __m256i ltp_tailmask_32(int64_t rem) {\n"
+             "  return _mm256_cmpgt_epi32(\n"
+             "      _mm256_set1_epi32((int32_t)rem),\n"
+             "      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));\n"
+             "}\n";
+    if (UsedMask64)
+      Out += "/* Lane mask for an N-element tail (N in [1, 4)). */\n"
+             "static inline __m256i ltp_tailmask_64(int64_t rem) {\n"
+             "  return _mm256_cmpgt_epi64(\n"
+             "      _mm256_set1_epi64x(rem),\n"
+             "      _mm256_setr_epi64x(0, 1, 2, 3));\n"
+             "}\n";
+    Out += "\n";
+    return Out;
+  }
+
   const std::vector<BufferBinding> &Signature;
   CodeGenOptions Options;
   std::string KernelName;
@@ -562,6 +1692,11 @@ private:
   std::string OutlinedFunctions;
   int ClosureCounter = 0;
   bool UsedStreamBlocks = false;
+  /// Vector-helper suffixes ("f32"/"f64"/"i32") the body referenced; the
+  /// preamble only defines helpers that are actually used.
+  std::set<std::string> SimdSuffixesUsed;
+  bool UsedMask32 = false;
+  bool UsedMask64 = false;
 };
 
 } // namespace

@@ -15,8 +15,14 @@
 ///    dispatched through a runtime `parallel_for` callback provided by the
 ///    host (see jit/JITRuntime.h), mirroring Halide's do_par_for runtime
 ///    hook.
-///  * Vectorized loops are emitted with `#pragma GCC ivdep` and rely on the
-///    host compiler's vectorizer at -O3 -march=native.
+///  * Vectorized loops over a unit-stride dimension are emitted as explicit
+///    vector intrinsics (AVX2/SSE2 selected by codegen::TargetISA) with a
+///    masked or scalar epilogue for non-divisible extents; loops the
+///    explicit path cannot prove vectorizable fall back to
+///    `#pragma GCC ivdep` and the host compiler's vectorizer.
+///  * `unroll_jam`-marked loops register-tile the enclosed vector loop:
+///    the jammed copies keep their accumulators in vector registers across
+///    inner reduction loops (the classic matmul micro-kernel shape).
 ///  * Non-temporal stores (the scheduling directive this project adds,
 ///    Section 4 of the paper) are emitted as MOVNTI/MOVNTPS-class
 ///    intrinsics: whole-vector `_mm256_stream_ps`/`_mm_stream_ps` when the
@@ -29,6 +35,7 @@
 #ifndef LTP_CODEGEN_CODEGENC_H
 #define LTP_CODEGEN_CODEGENC_H
 
+#include "codegen/TargetISA.h"
 #include "ir/Stmt.h"
 #include "runtime/Buffer.h"
 
@@ -54,6 +61,14 @@ struct CodeGenOptions {
   /// Emit streaming-store intrinsics for non-temporal stores; when false
   /// they degrade to regular stores (the ARM configuration).
   bool EnableNonTemporal = true;
+  /// Emit explicit vector intrinsics for vectorized loops instead of
+  /// relying on the host compiler's auto-vectorizer. Loops the explicit
+  /// path cannot handle fall back to the pragma path either way.
+  bool ExplicitSIMD = true;
+  /// Instruction set for explicit SIMD and for the JIT's -m flags.
+  /// Defaults to the host's best level; cap with TargetISA::select(Arch)
+  /// when modelling a narrower machine.
+  codegen::TargetISA ISA = codegen::TargetISA::host();
 };
 
 /// Generates a C translation unit defining

@@ -399,6 +399,52 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
     Best.VectorWidth = Arch.VectorWidth;
   }
 
+  // Register tiling: unroll-and-jam the outermost intra-tile loop when it
+  // carries register-level reuse — the output is indexed by it while some
+  // input that the vectorized column loop streams through is not, so each
+  // jammed copy reuses that operand's vector load and keeps its own
+  // accumulator in registers across the reduction loops (the matmul/
+  // syrk/trmm pattern). The back end re-checks dependence legality and
+  // falls back to a plain unroll pragma when the jam cannot be proven
+  // safe (e.g. trmm's in-place update).
+  if (!Best.VectorVar.empty() && U != Column) {
+    const LoopInfo *ULoop = findLoop(Info, U);
+    const ArrayAccess *Output = nullptr;
+    for (const ArrayAccess &A : Info.Accesses)
+      if (A.IsOutput)
+        Output = &A;
+    bool OutputAdvances =
+        Output && Output->indexVars().count(U) && ULoop &&
+        !ULoop->IsReduction;
+    bool InputReused = false;
+    for (const ArrayAccess *In : Info.inputs()) {
+      std::set<std::string> Vars = In->indexVars();
+      if (Vars.count(Best.VectorVar) && !Vars.count(U))
+        InputReused = true;
+    }
+    // Each jam copy costs one accumulator load+store per vector
+    // iteration, repaid across the reduction trips between the jam and
+    // vector loops. Long trips afford eight copies (eight independent
+    // accumulator chains cover FMA latency on two issue ports, and
+    // AVX2's sixteen vector registers fit them); short trips cap at
+    // four so the accumulator traffic stays amortized.
+    int64_t RedTrips = 1;
+    for (size_t I = 1; I + 1 < Best.IntraOrder.size(); ++I) {
+      const std::string &Mid = Best.IntraOrder[I];
+      auto It = Best.Tiles.find(Mid);
+      const LoopInfo *MidLoop = findLoop(Info, Mid);
+      RedTrips *= It != Best.Tiles.end() ? It->second
+                  : MidLoop             ? MidLoop->Extent
+                                        : 1;
+    }
+    int64_t Factor =
+        std::min<int64_t>(RedTrips >= 32 ? 8 : 4, Best.Tiles.at(U));
+    if (OutputAdvances && InputReused && Factor >= 2) {
+      Best.UnrollJamVar = U;
+      Best.UnrollJamFactor = static_cast<int>(Factor);
+    }
+  }
+
   return Best;
 }
 
@@ -447,6 +493,14 @@ void ltp::applyTemporalSchedule(Func &F, int StageIndex,
                            : Schedule.VectorVar;
     S.vectorize(Name);
   }
+
+  // Register tiling of the outermost intra-tile loop.
+  if (!Schedule.UnrollJamVar.empty() && Schedule.UnrollJamFactor > 1) {
+    std::string Name = Tiled.count(Schedule.UnrollJamVar)
+                           ? Schedule.UnrollJamVar + "_i"
+                           : Schedule.UnrollJamVar;
+    S.unrollJam(Name, Schedule.UnrollJamFactor);
+  }
 }
 
 std::string ltp::describeTemporalSchedule(const TemporalSchedule &Schedule) {
@@ -464,6 +518,9 @@ std::string ltp::describeTemporalSchedule(const TemporalSchedule &Schedule) {
   if (!Schedule.VectorVar.empty())
     Out += strFormat(" vectorize(%s, %d)", Schedule.VectorVar.c_str(),
                      Schedule.VectorWidth);
+  if (!Schedule.UnrollJamVar.empty())
+    Out += strFormat(" unroll_jam(%s, %d)", Schedule.UnrollJamVar.c_str(),
+                     Schedule.UnrollJamFactor);
   Out += strFormat(" cost=%.3g order=%.3g maxT1=%lld maxT2=%lld",
                    Schedule.Cost, Schedule.OrderCostValue,
                    static_cast<long long>(Schedule.MaxT1),

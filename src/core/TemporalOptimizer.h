@@ -69,6 +69,14 @@ struct TemporalSchedule {
   /// Column loop vectorized at this width (0 = no vectorization).
   std::string VectorVar;
   int VectorWidth = 0;
+  /// Outermost intra-tile loop register-tiled (unroll-and-jam) at this
+  /// factor when reuse analysis finds register-carried reuse: the output
+  /// advances with the loop while some vectorized input operand does not,
+  /// so jamming keeps that operand's vector load and the per-copy
+  /// accumulators in registers across the intervening reduction loops
+  /// (matmul/syrk/trmm). Empty/0 = no register tiling.
+  std::string UnrollJamVar;
+  int UnrollJamFactor = 0;
   /// Model outputs for introspection and tests.
   double Cost = 0.0;
   double OrderCostValue = 0.0;

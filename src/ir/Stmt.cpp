@@ -15,6 +15,8 @@ const char *ir::forKindSpelling(ForKind Kind) {
     return "vectorized for";
   case ForKind::Unrolled:
     return "unrolled for";
+  case ForKind::UnrollJammed:
+    return "unroll_jammed for";
   }
   assert(false && "unknown for kind");
   return "";

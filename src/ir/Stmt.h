@@ -39,6 +39,11 @@ enum class ForKind {
   Parallel,
   Vectorized,
   Unrolled,
+  /// Register tiling (unroll-and-jam): the loop's copies are unrolled and
+  /// fused inside the loops its body contains, down to the enclosed
+  /// vectorized loop. Interpreted serially; the code generator enforces
+  /// the jam's legality and falls back to a plain unrolled loop.
+  UnrollJammed,
 };
 
 /// Printable spelling of a ForKind.

@@ -10,9 +10,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include <dlfcn.h>
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -45,6 +48,32 @@ std::string slurp(const std::string &Path) {
   return Out.str();
 }
 
+/// -O3 with GCC's loop-nest restructuring disabled: the schedule encoded
+/// in the generated source (tiling, interchange, jamming) is the
+/// experiment; the back-end compiler must vectorize and register-allocate
+/// it, not re-tile it. The SIMD level comes from the codegen target ISA
+/// (never -march=native) so a cached object is valid on any host that
+/// runs it and the cache key fully describes the binary.
+std::string buildFlags(const CodeGenOptions &Options) {
+  return "-O3" + Options.ISA.compilerFlags() +
+         " -fno-loop-interchange -fno-loop-unroll-and-jam -fPIC -shared";
+}
+
+/// 64-bit FNV-1a of \p Data as fixed-width hex; names disk-cache entries.
+std::string fnv1aHex(const std::string &Data) {
+  uint64_t H = 1469598103934665603ULL;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 1099511628211ULL;
+  }
+  return strFormat("%016llx", static_cast<unsigned long long>(H));
+}
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -55,11 +84,13 @@ struct CompiledKernel::Module {
   void *Handle = nullptr; // dlopen handle
   void *Entry = nullptr;  // kernel function pointer
   std::string SharedObjectPath;
+  /// Disk-cache residents stay on disk for the next process.
+  bool Persistent = false;
 
   ~Module() {
     if (Handle)
       dlclose(Handle);
-    if (!SharedObjectPath.empty())
+    if (!SharedObjectPath.empty() && !Persistent)
       ::unlink(SharedObjectPath.c_str());
   }
 };
@@ -108,6 +139,130 @@ JITCompiler::JITCompiler(std::string CompilerPath)
   std::string Base = Tmp ? Tmp : "/tmp";
   WorkDir = Base + strFormat("/ltp-jit-%d", static_cast<int>(::getpid()));
   ::mkdir(WorkDir.c_str(), 0700);
+
+  if (const char *Env = std::getenv("LTP_JIT_DISK_CACHE"))
+    DiskCacheEnabled = std::string(Env) != "0";
+  if (const char *Dir = std::getenv("LTP_JIT_CACHE_DIR"))
+    CacheDirPath = Dir;
+  else if (const char *Xdg = std::getenv("XDG_CACHE_HOME"))
+    CacheDirPath = std::string(Xdg) + "/ltp-jit";
+  else
+    CacheDirPath = Base + "/ltp-jit-cache";
+  ::mkdir(CacheDirPath.c_str(), 0755);
+}
+
+std::string JITCompiler::runCompiler(const std::string &Flags,
+                                     const std::string &Source,
+                                     const std::string &SoPath, int Id) {
+  std::string CPath = WorkDir + strFormat("/mod_%d.c", Id);
+  std::string ErrPath = WorkDir + strFormat("/mod_%d.err", Id);
+  {
+    std::ofstream Out(CPath);
+    if (!Out.good())
+      return "cannot write JIT source to " + CPath;
+    Out << Source;
+  }
+  std::string Command =
+      strFormat("%s %s -o '%s' '%s' 2> '%s'", Compiler.c_str(),
+                Flags.c_str(), SoPath.c_str(), CPath.c_str(),
+                ErrPath.c_str());
+  int Status = std::system(Command.c_str());
+  std::string Diag;
+  if (Status != 0)
+    Diag = "JIT compilation failed (" + Command + "):\n" + slurp(ErrPath);
+  ::unlink(CPath.c_str());
+  ::unlink(ErrPath.c_str());
+  return Diag;
+}
+
+JITCompiler::Build
+JITCompiler::loadSharedObject(const std::string &SoPath,
+                              const std::string &KernelName,
+                              bool Persistent) {
+  Build B;
+  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    B.Error = std::string("dlopen failed: ") + dlerror();
+    return B;
+  }
+  void *Entry = dlsym(Handle, KernelName.c_str());
+  if (!Entry) {
+    dlclose(Handle);
+    B.Error = "kernel symbol missing from JIT module";
+    return B;
+  }
+  auto Mod = std::make_shared<CompiledKernel::Module>();
+  Mod->Handle = Handle;
+  Mod->Entry = Entry;
+  Mod->SharedObjectPath = SoPath;
+  Mod->Persistent = Persistent;
+  B.Mod = std::move(Mod);
+  return B;
+}
+
+JITCompiler::Build JITCompiler::buildModule(const std::string &Flags,
+                                            const std::string &Source,
+                                            const std::string &KernelName) {
+  int Id = ModuleCounter.fetch_add(1);
+  if (!DiskCacheEnabled) {
+    std::string SoPath = WorkDir + strFormat("/mod_%d.so", Id);
+    std::string Err = runCompiler(Flags, Source, SoPath, Id);
+    if (!Err.empty()) {
+      Build B;
+      B.Error = std::move(Err);
+      return B;
+    }
+    Build B = loadSharedObject(SoPath, KernelName, /*Persistent=*/false);
+    B.RanCompiler = B.Error.empty();
+    return B;
+  }
+
+  std::string SoPath =
+      CacheDirPath + "/ltp-" + fnv1aHex(Flags + '\n' + Source) + ".so";
+  if (fileExists(SoPath)) {
+    Build B = loadSharedObject(SoPath, KernelName, /*Persistent=*/true);
+    B.DiskHit = B.Error.empty();
+    return B;
+  }
+
+  // Cold everywhere: serialize concurrent builders (other benchmark
+  // processes sharing the cache directory) on a file lock, and re-check
+  // after acquiring it — the winner compiles, the rest load its result.
+  std::string LockPath = SoPath + ".lock";
+  int Fd = ::open(LockPath.c_str(), O_CREAT | O_RDWR, 0644);
+  if (Fd >= 0)
+    ::flock(Fd, LOCK_EX);
+  auto Unlock = [&] {
+    if (Fd >= 0) {
+      ::flock(Fd, LOCK_UN);
+      ::close(Fd);
+    }
+  };
+  if (fileExists(SoPath)) {
+    Unlock();
+    Build B = loadSharedObject(SoPath, KernelName, /*Persistent=*/true);
+    B.DiskHit = B.Error.empty();
+    return B;
+  }
+  // Compile to a private temp name, then atomically publish: readers
+  // only ever see complete shared objects.
+  std::string TmpPath =
+      CacheDirPath + strFormat("/.tmp-%d-%d.so",
+                               static_cast<int>(::getpid()), Id);
+  std::string Err = runCompiler(Flags, Source, TmpPath, Id);
+  if (Err.empty() && ::rename(TmpPath.c_str(), SoPath.c_str()) != 0) {
+    ::unlink(TmpPath.c_str());
+    Err = "cannot publish compiled module into the kernel cache: " + SoPath;
+  }
+  Unlock();
+  if (!Err.empty()) {
+    Build B;
+    B.Error = std::move(Err);
+    return B;
+  }
+  Build B = loadSharedObject(SoPath, KernelName, /*Persistent=*/true);
+  B.RanCompiler = B.Error.empty();
+  return B;
 }
 
 ErrorOr<CompiledKernel>
@@ -116,78 +271,128 @@ JITCompiler::compile(const ir::StmtPtr &S,
                      const CodeGenOptions &Options) {
   std::string KernelName = "ltp_kernel";
   std::string Source = generateC(S, Signature, KernelName, Options);
-
-  // -O3 with GCC's loop-nest restructuring disabled: the schedule encoded
-  // in the generated source (tiling, interchange) is the experiment; the
-  // back-end compiler must vectorize and register-allocate it, not
-  // re-tile it (Halide's LLVM back end likewise performs no loop-nest
-  // restructuring).
-  const char *Flags =
-      "-O3 -march=native -fno-loop-interchange -fno-loop-unroll-and-jam "
-      "-fPIC -shared";
+  std::string Flags = buildFlags(Options);
 
   // Memoize on (flags, source): revisited schedules reuse the loaded
   // module instead of paying another cc + dlopen round-trip.
-  std::string Key = std::string(Flags) + '\n' + Source;
-  auto Cached = Cache.find(Key);
-  if (Cached != Cache.end()) {
-    ++CacheHits;
-    CompiledKernel Kernel;
-    Kernel.Mod = Cached->second;
-    Kernel.Signature = Signature;
-    Kernel.Source = std::move(Source);
-    return Kernel;
-  }
-
-  int Id = ModuleCounter.fetch_add(1);
-  std::string CPath = WorkDir + strFormat("/mod_%d.c", Id);
-  std::string SoPath = WorkDir + strFormat("/mod_%d.so", Id);
-  std::string ErrPath = WorkDir + strFormat("/mod_%d.err", Id);
+  std::string Key = Flags + '\n' + Source;
   {
-    std::ofstream Out(CPath);
-    if (!Out.good())
-      return ErrorOr<CompiledKernel>::makeError(
-          "cannot write JIT source to " + CPath);
-    Out << Source;
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto Cached = Cache.find(Key);
+    if (Cached != Cache.end()) {
+      ++CacheHits;
+      CompiledKernel Kernel;
+      Kernel.Mod = Cached->second;
+      Kernel.Signature = Signature;
+      Kernel.Source = std::move(Source);
+      return Kernel;
+    }
   }
 
-  std::string Command =
-      strFormat("%s %s -o '%s' '%s' 2> '%s'", Compiler.c_str(), Flags,
-                SoPath.c_str(), CPath.c_str(), ErrPath.c_str());
-  int Status = std::system(Command.c_str());
-  if (Status != 0) {
-    std::string Diag = slurp(ErrPath);
-    ::unlink(CPath.c_str());
-    ::unlink(ErrPath.c_str());
-    return ErrorOr<CompiledKernel>::makeError(
-        "JIT compilation failed (" + Command + "):\n" + Diag);
-  }
-  ::unlink(CPath.c_str());
-  ::unlink(ErrPath.c_str());
+  Build B = buildModule(Flags, Source, KernelName);
+  if (!B.Error.empty())
+    return ErrorOr<CompiledKernel>::makeError(B.Error);
 
-  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
-  if (!Handle)
-    return ErrorOr<CompiledKernel>::makeError(
-        std::string("dlopen failed: ") + dlerror());
-  void *Entry = dlsym(Handle, KernelName.c_str());
-  if (!Entry) {
-    dlclose(Handle);
-    return ErrorOr<CompiledKernel>::makeError(
-        "kernel symbol missing from JIT module");
+  std::shared_ptr<const CompiledKernel::Module> Mod;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto [It, Inserted] = Cache.emplace(std::move(Key), B.Mod);
+    Mod = It->second;
+    if (Inserted) {
+      if (B.RanCompiler)
+        ++CompileCount;
+      if (B.DiskHit)
+        ++DiskHits;
+    } else {
+      ++CacheHits; // a concurrent compile of the same key won the race
+    }
   }
-
-  auto Mod = std::make_shared<CompiledKernel::Module>();
-  Mod->Handle = Handle;
-  Mod->Entry = Entry;
-  Mod->SharedObjectPath = SoPath;
-  Cache.emplace(std::move(Key), Mod);
 
   CompiledKernel Kernel;
   Kernel.Mod = std::move(Mod);
   Kernel.Signature = Signature;
   Kernel.Source = std::move(Source);
-  ++CompileCount;
   return Kernel;
+}
+
+std::vector<ErrorOr<CompiledKernel>>
+JITCompiler::compileMany(const std::vector<CompileJob> &Jobs) {
+  std::string KernelName = "ltp_kernel";
+  struct Prep {
+    std::string Source;
+    std::string Flags;
+    std::string Key;
+  };
+  std::vector<Prep> Preps;
+  Preps.reserve(Jobs.size());
+  for (const CompileJob &Job : Jobs) {
+    Prep P;
+    P.Source = generateC(Job.S, Job.Signature, KernelName, Job.Options);
+    P.Flags = buildFlags(Job.Options);
+    P.Key = P.Flags + '\n' + P.Source;
+    Preps.push_back(std::move(P));
+  }
+
+  // The first job of each key not already memoized builds the module;
+  // every other job is a memo hit by construction.
+  std::vector<size_t> Cold;
+  std::set<size_t> ColdSet;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    std::set<std::string> Seen;
+    for (size_t I = 0; I != Preps.size(); ++I)
+      if (!Cache.count(Preps[I].Key) && Seen.insert(Preps[I].Key).second) {
+        Cold.push_back(I);
+        ColdSet.insert(I);
+      }
+  }
+
+  std::vector<Build> Builds(Cold.size());
+  ThreadPool::global().parallelFor(
+      0, static_cast<int64_t>(Cold.size()), [&](int64_t I) {
+        const Prep &P = Preps[Cold[static_cast<size_t>(I)]];
+        Builds[static_cast<size_t>(I)] =
+            buildModule(P.Flags, P.Source, KernelName);
+      });
+
+  std::map<std::string, std::string> Failed;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    for (size_t I = 0; I != Cold.size(); ++I) {
+      Build &B = Builds[I];
+      const std::string &Key = Preps[Cold[I]].Key;
+      if (!B.Error.empty()) {
+        Failed.emplace(Key, B.Error);
+        continue;
+      }
+      Cache.emplace(Key, B.Mod);
+      if (B.RanCompiler)
+        ++CompileCount;
+      if (B.DiskHit)
+        ++DiskHits;
+    }
+  }
+
+  std::vector<ErrorOr<CompiledKernel>> Results;
+  Results.reserve(Jobs.size());
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    auto FIt = Failed.find(Preps[I].Key);
+    if (FIt != Failed.end()) {
+      Results.push_back(ErrorOr<CompiledKernel>::makeError(FIt->second));
+      continue;
+    }
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = Cache.find(Preps[I].Key);
+    assert(It != Cache.end() && "batch module missing from the cache");
+    if (!ColdSet.count(I))
+      ++CacheHits;
+    CompiledKernel Kernel;
+    Kernel.Mod = It->second;
+    Kernel.Signature = Jobs[I].Signature;
+    Kernel.Source = std::move(Preps[I].Source);
+    Results.push_back(std::move(Kernel));
+  }
+  return Results;
 }
 
 bool ltp::jitAvailable() {

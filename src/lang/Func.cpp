@@ -165,6 +165,13 @@ Stage &Stage::unroll(VarName Name) {
   return *this;
 }
 
+Stage &Stage::unrollJam(VarName Name, int64_t Factor) {
+  assert(Factor > 1 && "unroll_jam factor must exceed 1");
+  definition().Schedule.Directives.push_back(
+      UnrollJamDirective{Name.str(), Factor});
+  return *this;
+}
+
 //===----------------------------------------------------------------------===//
 // FuncRef
 //===----------------------------------------------------------------------===//

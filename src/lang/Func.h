@@ -92,9 +92,19 @@ struct MarkDirective {
   std::string Name;
 };
 
+/// unroll_jam(Name, Factor): register tiling. Splits \p Name into
+/// Name_ujo/Name_uji in place and marks the inner loop UnrollJammed: the
+/// code generator unrolls the Factor copies and fuses ("jams") them inside
+/// the loops the body nests below it, so each copy's accumulator stays in
+/// a (vector) register across inner reduction loops.
+struct UnrollJamDirective {
+  std::string Name;
+  int64_t Factor;
+};
+
 using ScheduleDirective =
     std::variant<SplitDirective, FuseDirective, ReorderDirective,
-                 MarkDirective>;
+                 MarkDirective, UnrollJamDirective>;
 
 /// Ordered schedule of one stage (pure or update definition). Directives
 /// apply strictly in declaration order, mutating the stage's loop list the
@@ -152,6 +162,10 @@ public:
 
   /// Fully unrolls loop \p Name.
   Stage &unroll(VarName Name);
+
+  /// Register tiling: splits \p Name by \p Factor in place and marks the
+  /// inner loop for unroll-and-jam (see UnrollJamDirective).
+  Stage &unrollJam(VarName Name, int64_t Factor);
 
   /// The stage's accumulated schedule.
   const StageSchedule &schedule() const;

@@ -187,6 +187,17 @@ void applyMark(StageNest &Nest, const MarkDirective &M) {
   assert(false && "unknown mark kind");
 }
 
+void applyUnrollJam(StageNest &Nest, const UnrollJamDirective &U) {
+  assert(U.Factor > 1 && "unroll_jam factor must exceed 1");
+  // Split in place: Name_ujo strides by Factor where Name was, Name_uji
+  // covers the tile and carries the UnrollJammed kind.
+  applySplit(Nest,
+             SplitDirective{U.Name, U.Name + "_ujo", U.Name + "_uji",
+                            U.Factor});
+  size_t Pos = Nest.findDim(U.Name + "_uji");
+  Nest.Dims[Pos].Kind = ForKind::UnrollJammed;
+}
+
 /// Collects free variable names of an expression.
 class FreeVars : public IRVisitor {
 public:
@@ -259,6 +270,8 @@ StmtPtr ltp::lowerStage(const Func &F, int StageIndex,
       applyReorder(Nest, *R);
     else if (const auto *M = std::get_if<MarkDirective>(&Directive))
       applyMark(Nest, *M);
+    else if (const auto *U = std::get_if<UnrollJamDirective>(&Directive))
+      applyUnrollJam(Nest, *U);
     else
       assert(false && "unknown schedule directive");
   }

@@ -36,6 +36,9 @@ std::string ltp::printSchedule(const Func &F, int StageIndex) {
                              ? "vectorize"
                              : "unroll";
       Parts.push_back(strFormat("%s(%s)", Name, M->Name.c_str()));
+    } else if (const auto *U = std::get_if<UnrollJamDirective>(&Directive)) {
+      Parts.push_back(strFormat("unroll_jam(%s, %lld)", U->Name.c_str(),
+                                static_cast<long long>(U->Factor)));
     } else {
       assert(false && "unknown schedule directive");
     }
@@ -182,6 +185,16 @@ ErrorOr<bool> ltp::applyScheduleText(Func &F, int StageIndex,
       if (Args.size() != 1)
         return ErrorOr<bool>::makeError("unroll expects 1 argument");
       S.unroll(Args[0]);
+    } else if (Name == "unroll_jam") {
+      if (Args.size() != 2)
+        return ErrorOr<bool>::makeError("unroll_jam expects 2 arguments");
+      char *End = nullptr;
+      long Factor = std::strtol(Args[1].c_str(), &End, 10);
+      if (*End != '\0' || Factor <= 1)
+        return ErrorOr<bool>::makeError(
+            "unroll_jam factor must be an integer > 1, got '" + Args[1] +
+            "'");
+      S.unrollJam(Args[0], Factor);
     } else if (Name == "store_nontemporal") {
       if (!Args.empty())
         return ErrorOr<bool>::makeError(
@@ -246,6 +259,16 @@ std::string ltp::validateScheduleNames(const Func &F, int StageIndex) {
                              : "unroll";
       if (std::string E = Check(M->Name, Kind); !E.empty())
         return E;
+    } else if (const auto *U = std::get_if<UnrollJamDirective>(&Directive)) {
+      if (std::string E = Check(U->Name, "unroll_jam"); !E.empty())
+        return E;
+      if (Live.count(U->Name + "_ujo") || Live.count(U->Name + "_uji"))
+        return strFormat("unroll_jam introduces a name that already "
+                         "exists ('%s_ujo' or '%s_uji')",
+                         U->Name.c_str(), U->Name.c_str());
+      Live.erase(U->Name);
+      Live.insert(U->Name + "_ujo");
+      Live.insert(U->Name + "_uji");
     }
   }
   return "";

@@ -78,15 +78,34 @@ TEST(CodegenTest, NestedCaptureReachesClosure) {
   EXPECT_NE(Source.find("ltp_cl->y"), std::string::npos) << Source;
 }
 
-TEST(CodegenTest, VectorizePragma) {
+TEST(CodegenTest, VectorizeEmitsExplicitSimd) {
   Var X("x"), Y("y");
   InputBuffer In("In", ir::Type::float32(), 2);
   Func Out("Out");
   Out(X, Y) = In(X, Y);
   Out.vectorize("x");
+  CodeGenOptions Options;
+  if (Options.ISA.Level == codegen::SimdLevel::Scalar)
+    GTEST_SKIP() << "host has no SIMD support";
   std::string Source =
-      generateC(lowerFunc(Out, {32, 16}), simpleSignature(), "k");
+      generateC(lowerFunc(Out, {32, 16}), simpleSignature(), "k", Options);
+  EXPECT_NE(Source.find("ltp_vload_f32"), std::string::npos) << Source;
+  EXPECT_NE(Source.find("ltp_vstore_f32"), std::string::npos) << Source;
+  EXPECT_EQ(Source.find("#pragma GCC ivdep"), std::string::npos) << Source;
+}
+
+TEST(CodegenTest, VectorizePragmaFallbackWhenSimdDisabled) {
+  Var X("x"), Y("y");
+  InputBuffer In("In", ir::Type::float32(), 2);
+  Func Out("Out");
+  Out(X, Y) = In(X, Y);
+  Out.vectorize("x");
+  CodeGenOptions Options;
+  Options.ExplicitSIMD = false;
+  std::string Source =
+      generateC(lowerFunc(Out, {32, 16}), simpleSignature(), "k", Options);
   EXPECT_NE(Source.find("#pragma GCC ivdep"), std::string::npos);
+  EXPECT_EQ(Source.find("ltp_vload_f32"), std::string::npos) << Source;
 }
 
 TEST(CodegenTest, StreamingStoresAndFence) {

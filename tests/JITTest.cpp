@@ -17,6 +17,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <tuple>
+
 using namespace ltp;
 
 namespace {
@@ -26,6 +29,9 @@ protected:
   void SetUp() override {
     if (!jitAvailable())
       GTEST_SKIP() << "no host C compiler available";
+    // Counter expectations in these tests assume cold builds; a shared
+    // on-disk cache would satisfy reruns without invoking cc.
+    Compiler.setDiskCacheEnabled(false);
   }
   JITCompiler Compiler;
 };
@@ -216,6 +222,99 @@ TEST_F(JITFixture, RecompilingIdenticalSourceHitsCache) {
   ASSERT_TRUE(static_cast<bool>(Third)) << Third.getError();
   EXPECT_EQ(Compiler.compileCount(), 2);
   EXPECT_EQ(Compiler.cacheHitCount(), 1);
+}
+
+TEST_F(JITFixture, CompileManyBatchesAndMemoizes) {
+  constexpr int64_t N = 16;
+  Buffer<float> In({N}), Out({N});
+  In.fillRandom(33);
+  std::vector<BufferBinding> Signature = {
+      BufferBinding::fromRef("Out", Out.ref()),
+      BufferBinding::fromRef("In", In.ref())};
+
+  auto Build = [&](float Scale) {
+    Var X("x");
+    InputBuffer InB("In", ir::Type::float32(), 1);
+    Func O("Out");
+    O(X) = InB(X) * Scale;
+    return lowerFunc(O, {N});
+  };
+  // Three jobs, two of them byte-identical: the batch compiles two
+  // distinct sources, the duplicate is a memo hit.
+  std::vector<CompileJob> Jobs;
+  Jobs.push_back({Build(2.0f), Signature, CodeGenOptions()});
+  Jobs.push_back({Build(5.0f), Signature, CodeGenOptions()});
+  Jobs.push_back({Build(2.0f), Signature, CodeGenOptions()});
+
+  auto Kernels = Compiler.compileMany(Jobs);
+  ASSERT_EQ(Kernels.size(), 3u);
+  for (const auto &K : Kernels)
+    ASSERT_TRUE(static_cast<bool>(K)) << K.getError();
+  EXPECT_EQ(Compiler.compileCount(), 2);
+  EXPECT_EQ(Compiler.cacheHitCount(), 1);
+
+  std::map<std::string, BufferRef> Buffers = {{"In", In.ref()},
+                                              {"Out", Out.ref()}};
+  const float Scales[3] = {2.0f, 5.0f, 2.0f};
+  for (int J = 0; J != 3; ++J) {
+    Out.fill(0.0f);
+    Kernels[static_cast<size_t>(J)]->run(Buffers);
+    for (int64_t I = 0; I != N; ++I)
+      EXPECT_EQ(Out(I), In(I) * Scales[J]);
+  }
+}
+
+TEST(JITDiskCacheTest, WarmCompilerLoadsFromDiskWithoutCC) {
+  if (!jitAvailable())
+    GTEST_SKIP() << "no host C compiler available";
+  // A private cache directory makes the cold/warm sequence deterministic
+  // across test reruns.
+  char Template[] = "/tmp/ltp-jit-cache-test-XXXXXX";
+  ASSERT_NE(::mkdtemp(Template), nullptr);
+  ::setenv("LTP_JIT_CACHE_DIR", Template, 1);
+
+  constexpr int64_t N = 16;
+  Buffer<float> In({N}), Out({N});
+  In.fillRandom(44);
+  std::vector<BufferBinding> Signature = {
+      BufferBinding::fromRef("Out", Out.ref()),
+      BufferBinding::fromRef("In", In.ref())};
+  auto Build = [&] {
+    Var X("x");
+    InputBuffer InB("In", ir::Type::float32(), 1);
+    Func O("Out");
+    O(X) = InB(X) + 1.5f;
+    return lowerFunc(O, {N});
+  };
+  std::map<std::string, BufferRef> Buffers = {{"In", In.ref()},
+                                              {"Out", Out.ref()}};
+
+  {
+    JITCompiler Cold;
+    auto Kernel = Cold.compile(Build(), Signature);
+    ASSERT_TRUE(static_cast<bool>(Kernel)) << Kernel.getError();
+    EXPECT_EQ(Cold.compileCount(), 1);
+    EXPECT_EQ(Cold.diskHitCount(), 0);
+    Kernel->run(Buffers);
+    for (int64_t I = 0; I != N; ++I)
+      EXPECT_EQ(Out(I), In(I) + 1.5f);
+  } // modules unload; the .so must survive on disk
+
+  {
+    JITCompiler Warm;
+    auto Kernel = Warm.compile(Build(), Signature);
+    ASSERT_TRUE(static_cast<bool>(Kernel)) << Kernel.getError();
+    EXPECT_EQ(Warm.compileCount(), 0) << "warm cache must not invoke cc";
+    EXPECT_EQ(Warm.diskHitCount(), 1);
+    Out.fill(0.0f);
+    Kernel->run(Buffers);
+    for (int64_t I = 0; I != N; ++I)
+      EXPECT_EQ(Out(I), In(I) + 1.5f);
+  }
+
+  ::unsetenv("LTP_JIT_CACHE_DIR");
+  std::string Cleanup = std::string("rm -rf '") + Template + "'";
+  std::ignore = std::system(Cleanup.c_str());
 }
 
 TEST_F(JITFixture, CompileErrorIsReported) {

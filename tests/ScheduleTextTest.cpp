@@ -59,6 +59,68 @@ TEST(ScheduleTextTest, StoreNonTemporalDirective) {
   EXPECT_NE(Text.find("store_nontemporal"), std::string::npos);
 }
 
+TEST(ScheduleTextTest, UnrollJamRoundTrip) {
+  // unroll_jam survives print -> parse -> print unchanged and the
+  // re-applied schedule still computes the right answer.
+  const BenchmarkDef *Def = findBenchmark("matmul");
+  BenchmarkInstance A = Def->Create(48);
+  int Stage = A.Stages[0].numUpdates() - 1;
+  A.Stages[0].clearSchedules();
+  auto R = applyScheduleText(A.Stages[0], Stage,
+                             "vectorize(j, 8); unroll_jam(i, 4);");
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError();
+  std::string Text = printSchedule(A.Stages[0], Stage);
+  EXPECT_NE(Text.find("unroll_jam(i, 4)"), std::string::npos);
+
+  BenchmarkInstance B = Def->Create(48);
+  B.Stages[0].clearSchedules();
+  auto Applied = applyScheduleText(B.Stages[0], Stage, Text);
+  ASSERT_TRUE(static_cast<bool>(Applied)) << Applied.getError();
+  EXPECT_EQ(printSchedule(B.Stages[0], Stage), Text);
+
+  runInterpreted(B);
+  EXPECT_TRUE(verifyOutput(B));
+}
+
+TEST(ScheduleTextTest, UnrollJamRejectsMalformedInput) {
+  const BenchmarkDef *Def = findBenchmark("matmul");
+  BenchmarkInstance I = Def->Create(48);
+  int Stage = I.Stages[0].numUpdates() - 1;
+  I.Stages[0].clearSchedules();
+
+  // Wrong arity.
+  auto R1 = applyScheduleText(I.Stages[0], Stage, "unroll_jam(i)");
+  EXPECT_FALSE(static_cast<bool>(R1));
+  EXPECT_NE(R1.getError().find("unroll_jam"), std::string::npos);
+
+  // Factor must be an integer greater than one.
+  auto R2 = applyScheduleText(I.Stages[0], Stage, "unroll_jam(i, 1)");
+  EXPECT_FALSE(static_cast<bool>(R2));
+  auto R3 = applyScheduleText(I.Stages[0], Stage, "unroll_jam(i, four)");
+  EXPECT_FALSE(static_cast<bool>(R3));
+  auto R4 = applyScheduleText(I.Stages[0], Stage, "unroll_jam(i, 4x)");
+  EXPECT_FALSE(static_cast<bool>(R4));
+
+  // The jammed loop must exist in the stage's nest (name-level checks
+  // live in validateScheduleNames, as for the other directives).
+  I.Stages[0].clearSchedules();
+  auto R5 = applyScheduleText(I.Stages[0], Stage, "unroll_jam(zz, 4)");
+  ASSERT_TRUE(static_cast<bool>(R5)) << R5.getError();
+  EXPECT_NE(validateScheduleNames(I.Stages[0], Stage).find("zz"),
+            std::string::npos);
+
+  // The split names unroll_jam introduces must not collide with loops
+  // that already exist.
+  I.Stages[0].clearSchedules();
+  auto R6 = applyScheduleText(I.Stages[0], Stage,
+                              "split(j, i_ujo, j_i, 8); "
+                              "unroll_jam(i, 4)");
+  ASSERT_TRUE(static_cast<bool>(R6)) << R6.getError();
+  EXPECT_NE(
+      validateScheduleNames(I.Stages[0], Stage).find("already exists"),
+      std::string::npos);
+}
+
 TEST(ScheduleTextTest, ErrorsAreReported) {
   const BenchmarkDef *Def = findBenchmark("copy");
   BenchmarkInstance I = Def->Create(64);
