@@ -43,9 +43,10 @@ ltp::lowerPipeline(const BenchmarkInstance &Instance) {
 }
 
 void ltp::runInterpreted(const BenchmarkInstance &Instance,
-                         bool RunParallel) {
+                         bool RunParallel, InterpEngine Engine) {
   InterpOptions Options;
   Options.RunParallel = RunParallel;
+  Options.Engine = Engine;
   std::vector<ir::StmtPtr> Lowered = lowerPipeline(Instance);
   checkBounds(Lowered, Instance.Buffers);
   for (const ir::StmtPtr &S : Lowered)

@@ -26,9 +26,11 @@ namespace ltp {
 /// Lowers every stage of the pipeline with its current schedule.
 std::vector<ir::StmtPtr> lowerPipeline(const BenchmarkInstance &Instance);
 
-/// Runs the pipeline through the interpreter.
+/// Runs the pipeline through the interpreter (the bytecode VM by
+/// default; pass `InterpEngine::Reference` for the tree-walking oracle).
 void runInterpreted(const BenchmarkInstance &Instance,
-                    bool RunParallel = false);
+                    bool RunParallel = false,
+                    InterpEngine Engine = InterpEngine::Auto);
 
 /// A pipeline compiled to native kernels (one per stage).
 struct CompiledPipeline {

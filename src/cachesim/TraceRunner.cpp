@@ -7,6 +7,18 @@
 
 using namespace ltp;
 
+const char *ltp::traceEngineName(TraceEngine Engine) {
+  switch (Engine) {
+  case TraceEngine::AccessProgram:
+    return "access-program";
+  case TraceEngine::VM:
+    return "vm";
+  case TraceEngine::Reference:
+    return "reference";
+  }
+  return "";
+}
+
 SimResult ltp::simulate(const std::vector<ir::StmtPtr> &Stmts,
                         const std::map<std::string, BufferRef> &Buffers,
                         const ArchParams &Arch, const LatencyModel &Latency,
@@ -14,11 +26,12 @@ SimResult ltp::simulate(const std::vector<ir::StmtPtr> &Stmts,
   MemoryHierarchy Hierarchy(Arch);
   SimResult Result;
 
-  if (Engine != SimEngine::Interpreter) {
+  if (Engine != SimEngine::Interpreter && Engine != SimEngine::Reference) {
     if (std::optional<AccessProgram> Program =
             compileAccessProgram(Stmts, Buffers)) {
       Result.Accesses = Program->run(Hierarchy, Buffers);
       Result.FastPath = true;
+      Result.Engine = TraceEngine::AccessProgram;
       Result.Stats = Hierarchy.stats();
       Result.EstimatedCycles = Hierarchy.estimatedCycles(Latency);
       return Result;
@@ -27,6 +40,8 @@ SimResult ltp::simulate(const std::vector<ir::StmtPtr> &Stmts,
 
   uint64_t Accesses = 0;
   InterpOptions Options;
+  Options.Engine = Engine == SimEngine::Reference ? InterpEngine::Reference
+                                                  : InterpEngine::VM;
   Options.Hook = [&](AccessKind Kind, uint64_t Address, uint32_t Size) {
     ++Accesses;
     switch (Kind) {
@@ -44,6 +59,8 @@ SimResult ltp::simulate(const std::vector<ir::StmtPtr> &Stmts,
   for (const ir::StmtPtr &S : Stmts)
     interpret(S, Buffers, Options);
 
+  Result.Engine = Engine == SimEngine::Reference ? TraceEngine::Reference
+                                                 : TraceEngine::VM;
   Result.Stats = Hierarchy.stats();
   Result.EstimatedCycles = Hierarchy.estimatedCycles(Latency);
   Result.Accesses = Accesses;

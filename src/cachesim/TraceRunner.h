@@ -11,13 +11,15 @@
 /// Cortex-A15 configuration (hardware we do not have) and how it
 /// validates the analytical model's miss estimates.
 ///
-/// Two engines produce bit-identical statistics:
+/// Three engines produce bit-identical statistics:
 ///
 ///  * the *compiled* fast path (AccessProgram.h) replays a precompiled
 ///    affine access stream with no interpreter and no per-access
 ///    indirect call — the default whenever the lowered IR compiles;
-///  * the *interpreter* path walks the IR with a memory hook — the
-///    reference, and the automatic fallback for non-affine programs.
+///  * the *interpreter* path feeds a memory hook from the bytecode VM —
+///    the automatic fallback for non-affine programs;
+///  * the *reference* path does the same on the tree walker — the
+///    original oracle, kept for differential testing of the other two.
 ///
 /// `simulateMany` fans independent simulations across the global thread
 /// pool for schedule x platform sweeps.
@@ -41,9 +43,21 @@ namespace ltp {
 /// Which trace engine to use.
 enum class SimEngine {
   Auto,        ///< compiled fast path when possible, interpreter otherwise
-  Interpreter, ///< force the interpreter-hook reference path
+  Interpreter, ///< force the interpreter-hook path (bytecode VM)
   Compiled,    ///< same as Auto (kept distinct for forcing in tests/benches)
+  Reference,   ///< force the interpreter-hook path on the tree walker
 };
+
+/// Which engine actually produced the address trace of a simulation.
+enum class TraceEngine {
+  AccessProgram, ///< compiled fast path (AccessProgram.h)
+  VM,            ///< interpreter-hook path on the bytecode VM
+  Reference,     ///< interpreter-hook path on the tree walker
+};
+
+/// Printable spelling of a TraceEngine ("access-program", "vm",
+/// "reference").
+const char *traceEngineName(TraceEngine Engine);
 
 /// Result of one simulated execution.
 struct SimResult {
@@ -53,6 +67,8 @@ struct SimResult {
   /// True when the compiled fast path produced the trace (escaped
   /// subtrees may still have used the interpreter for their share).
   bool FastPath = false;
+  /// The engine that actually ran (the fallback taken under Auto).
+  TraceEngine Engine = TraceEngine::AccessProgram;
 };
 
 /// Runs \p S over \p Buffers on a fresh hierarchy configured from

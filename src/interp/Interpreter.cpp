@@ -2,6 +2,8 @@
 
 #include "interp/Interpreter.h"
 
+#include "interp/Bytecode.h"
+#include "interp/VM.h"
 #include "runtime/ThreadPool.h"
 
 #include <algorithm>
@@ -321,12 +323,31 @@ void execStmt(const StmtPtr &S, Env &Environment) {
 
 } // namespace
 
+const char *ltp::interpEngineName(InterpEngine Engine) {
+  switch (Engine) {
+  case InterpEngine::Auto:
+  case InterpEngine::VM:
+    return "vm";
+  case InterpEngine::Reference:
+    return "reference";
+  }
+  assert(false && "unknown engine");
+  return "";
+}
+
 void ltp::interpret(const StmtPtr &S,
                     const std::map<std::string, BufferRef> &Buffers,
                     const InterpOptions &Options) {
   assert(S && "interpreting a null statement");
   assert(!(Options.RunParallel && Options.Hook) &&
          "traced interpretation must be deterministic (serial)");
+  if (Options.Engine != InterpEngine::Reference) {
+    vm::CompileOptions CO;
+    CO.Trace = static_cast<bool>(Options.Hook);
+    CO.Parallel = Options.RunParallel;
+    vm::run(vm::compile(S, Buffers, CO), Options);
+    return;
+  }
   Env Environment{Buffers, Options.InitialScalars, Options};
   execStmt(S, Environment);
 }

@@ -41,6 +41,23 @@ enum class AccessKind {
 using AccessHook =
     std::function<void(AccessKind, uint64_t Address, uint32_t SizeBytes)>;
 
+/// Which executor runs the statement.
+enum class InterpEngine {
+  /// Pick the fast engine (currently always the bytecode VM).
+  Auto,
+  /// Compile to register bytecode and run it on the VM (Bytecode.h, VM.h).
+  /// ~10-20x faster than the walker; Float32 arithmetic runs in `float`
+  /// like compiled code (the walker computes it in `double` and only
+  /// rounds at stores).
+  VM,
+  /// The original tree-walking interpreter, kept as the differential
+  /// oracle for the VM itself.
+  Reference,
+};
+
+/// Printable spelling of an InterpEngine.
+const char *interpEngineName(InterpEngine Engine);
+
 /// Options controlling interpretation.
 struct InterpOptions {
   /// Execute Parallel loops on the thread pool. Must be false when a trace
@@ -52,10 +69,15 @@ struct InterpOptions {
   /// if bound by enclosing loops/lets. Used by the access-program fast
   /// path to interpret an escaped subtree in its surrounding loop context.
   std::map<std::string, int64_t> InitialScalars;
+  /// Executor selection; both engines honour the same trace-order and
+  /// parallel-loop contracts.
+  InterpEngine Engine = InterpEngine::Auto;
 };
 
 /// Executes \p S against the named buffers in \p Buffers.
 ///
+/// By default this compiles \p S to bytecode and runs it on the VM; pass
+/// `InterpEngine::Reference` to run the tree-walking oracle instead.
 /// Buffer lookups are by name; a missing buffer or an out-of-bounds access
 /// is a programmatic error (assert). Loop variables are 64-bit internally.
 void interpret(const ir::StmtPtr &S,

@@ -66,22 +66,34 @@ void expectIdenticalStats(const HierarchyStats &Fast,
   EXPECT_EQ(Fast.PrefetchIssuedL2, Ref.PrefetchIssuedL2) << Context;
 }
 
-/// Simulates \p Stmts with both engines on every platform and asserts
-/// bit-identical statistics and access counts. \p ExpectFastPath asserts
-/// whether the compiled engine actually took the fast path.
+/// Simulates \p Stmts with all three engines on every platform and
+/// asserts bit-identical statistics and access counts. \p ExpectFastPath
+/// asserts whether the compiled engine actually took the fast path; the
+/// recorded `SimResult::Engine` must name the engine that actually ran
+/// (access-program, or the VM when compilation falls back).
 void expectEnginesAgree(const std::vector<ir::StmtPtr> &Stmts,
                         const std::map<std::string, BufferRef> &Buffers,
                         const std::string &Kernel, bool ExpectFastPath) {
   for (const auto &[Platform, Arch] : allPlatforms()) {
     SimResult Fast =
         simulate(Stmts, Buffers, Arch, LatencyModel(), SimEngine::Compiled);
-    SimResult Ref =
+    SimResult VM =
         simulate(Stmts, Buffers, Arch, LatencyModel(), SimEngine::Interpreter);
+    SimResult Ref =
+        simulate(Stmts, Buffers, Arch, LatencyModel(), SimEngine::Reference);
     std::string Context = Kernel + " on " + Platform;
     EXPECT_EQ(Fast.FastPath, ExpectFastPath) << Context;
+    EXPECT_EQ(Fast.Engine, ExpectFastPath ? TraceEngine::AccessProgram
+                                          : TraceEngine::VM)
+        << Context;
+    EXPECT_FALSE(VM.FastPath) << Context;
+    EXPECT_EQ(VM.Engine, TraceEngine::VM) << Context;
     EXPECT_FALSE(Ref.FastPath) << Context;
-    EXPECT_EQ(Fast.Accesses, Ref.Accesses) << Context;
-    expectIdenticalStats(Fast.Stats, Ref.Stats, Context);
+    EXPECT_EQ(Ref.Engine, TraceEngine::Reference) << Context;
+    EXPECT_EQ(Fast.Accesses, VM.Accesses) << Context;
+    EXPECT_EQ(VM.Accesses, Ref.Accesses) << Context;
+    expectIdenticalStats(Fast.Stats, VM.Stats, Context + " (fast vs vm)");
+    expectIdenticalStats(VM.Stats, Ref.Stats, Context + " (vm vs reference)");
   }
 }
 
@@ -230,6 +242,7 @@ TEST(AccessProgramTest, SimulateManyMatchesSerialSimulate) {
     std::string Context = "job " + std::to_string(J);
     EXPECT_EQ(Many[J].Accesses, Serial.Accesses) << Context;
     EXPECT_EQ(Many[J].FastPath, Serial.FastPath) << Context;
+    EXPECT_EQ(Many[J].Engine, Serial.Engine) << Context;
     expectIdenticalStats(Many[J].Stats, Serial.Stats, Context);
   }
 }

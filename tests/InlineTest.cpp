@@ -95,10 +95,10 @@ TEST(InlineTest, ChainOfProducersInlinesTransitively) {
   C.inlineCalls(B);
 
   interpret(lowerFunc(C, {N}), {{"In", In.ref()}, {"Out", Out.ref()}});
-  // The interpreter evaluates float expressions in double and rounds at
-  // the store, so allow one-ulp-scale differences.
+  // The VM evaluates float expressions in float, so the result is
+  // bit-identical to the native float expression.
   for (int64_t I = 0; I != N; ++I)
-    ASSERT_NEAR(Out(I), (In(I) + 1.0f) * 2.0f - 3.0f, 1e-5);
+    ASSERT_FLOAT_EQ(Out(I), (In(I) + 1.0f) * 2.0f - 3.0f);
 }
 
 TEST(InlineTest, InliningShiftedProducerMakesStencil) {
@@ -148,11 +148,12 @@ TEST(InlineTest, UpdateDefinitionsAreRewrittenToo) {
   Sum.inlineCalls(P);
 
   interpret(lowerFunc(Sum, {N}), {{"In", In.ref()}, {"Out", Out.ref()}});
+  // Same accumulation order in float on both sides: bit-identical.
   for (int64_t I = 0; I != N; ++I) {
     float Want = 0.0f;
     for (int64_t K2 = 0; K2 != N; ++K2)
       Want += In(I, K2) + 0.5f;
-    ASSERT_NEAR(Out(I), Want, 1e-3);
+    ASSERT_FLOAT_EQ(Out(I), Want);
   }
 }
 

@@ -170,4 +170,141 @@ TEST(InterpreterTest, PredicateGuardsExecution) {
     EXPECT_EQ(Out(Idx), Idx >= 4 ? 1 : 0);
 }
 
+TEST(InterpreterTest, VMFloat32ArithmeticRunsInFloat) {
+  // Out = A * B + C on float32: the VM must round after every operation
+  // like compiled float code, not compute in double and round once at
+  // the store (the reference walker's behaviour).
+  constexpr int64_t N = 256;
+  Buffer<float> A({N}), B({N}), C({N}), Out({N});
+  A.fillRandom(1);
+  B.fillRandom(2);
+  C.fillRandom(3);
+
+  ExprPtr I = VarRef::make("i");
+  ExprPtr E = Binary::make(
+      BinOp::Add,
+      Binary::make(BinOp::Mul, Load::make("A", {I}, Type::float32()),
+                   Load::make("B", {I}, Type::float32())),
+      Load::make("C", {I}, Type::float32()));
+  StmtPtr S = For::make("i", IntImm::make(0), IntImm::make(N),
+                        ForKind::Serial, Store::make("Out", {I}, E));
+  interpret(S, {{"A", A.ref()},
+                {"B", B.ref()},
+                {"C", C.ref()},
+                {"Out", Out.ref()}});
+  for (int64_t Idx = 0; Idx != N; ++Idx) {
+    // Separate statements force float rounding between the operations,
+    // so the expected value cannot be FMA-contracted by the compiler.
+    float Product = A(Idx) * B(Idx);
+    float Want = Product + C(Idx);
+    ASSERT_EQ(Out(Idx), Want) << "element " << Idx;
+  }
+}
+
+TEST(InterpreterTest, VMTraceMatchesReferenceWalkerExactly) {
+  // The VM's traced opcodes must reproduce the walker's event stream
+  // event-for-event: index loads before the access they address, value
+  // loads before the store event, only the taken select arm. Uses a
+  // data-dependent index (Idx feeds A's subscript) so index-expression
+  // loads appear in the trace.
+  constexpr int64_t N = 32;
+  Buffer<int32_t> Idx({N});
+  Buffer<float> A({N}), B({N}), Out({N});
+  A.fillRandom(4);
+  B.fillRandom(5);
+  for (int64_t I = 0; I != N; ++I)
+    Idx(I) = static_cast<int32_t>((I * 7) % N);
+
+  ExprPtr I = VarRef::make("i");
+  ExprPtr Indirect = Load::make(
+      "A", {Load::make("Idx", {I}, Type::int32())}, Type::float32());
+  ExprPtr Direct =
+      Binary::make(BinOp::Add, Load::make("B", {I}, Type::float32()),
+                   Load::make("A", {I}, Type::float32()));
+  ExprPtr Cond = Binary::make(
+      BinOp::EQ, Binary::make(BinOp::Mod, I, IntImm::make(2)),
+      IntImm::make(0));
+  StmtPtr S = For::make(
+      "i", IntImm::make(0), IntImm::make(N), ForKind::Serial,
+      Store::make("Out", {I}, Select::make(Cond, Indirect, Direct)));
+  std::map<std::string, BufferRef> Buffers = {{"Idx", Idx.ref()},
+                                              {"A", A.ref()},
+                                              {"B", B.ref()},
+                                              {"Out", Out.ref()}};
+
+  struct Event {
+    AccessKind Kind;
+    uint64_t Address;
+    uint32_t Size;
+    bool operator==(const Event &O) const {
+      return Kind == O.Kind && Address == O.Address && Size == O.Size;
+    }
+  };
+  auto traceWith = [&](InterpEngine Engine) {
+    std::vector<Event> Events;
+    InterpOptions Options;
+    Options.Engine = Engine;
+    Options.Hook = [&](AccessKind Kind, uint64_t Address, uint32_t Size) {
+      Events.push_back({Kind, Address, Size});
+    };
+    interpret(S, Buffers, Options);
+    return Events;
+  };
+
+  std::vector<Event> VM = traceWith(InterpEngine::VM);
+  std::vector<Event> Ref = traceWith(InterpEngine::Reference);
+  ASSERT_EQ(VM.size(), Ref.size());
+  for (size_t E = 0; E != VM.size(); ++E)
+    ASSERT_TRUE(VM[E] == Ref[E]) << "event " << E;
+  // Both outputs must also be the values the trace implies.
+  for (int64_t Idx2 = 0; Idx2 != N; ++Idx2)
+    ASSERT_EQ(Out(Idx2), Idx2 % 2 == 0 ? A(Idx2 * 7 % N)
+                                       : B(Idx2) + A(Idx2));
+}
+
+TEST(InterpreterTest, VMAndReferenceAgreeOnCastChains) {
+  // Integer truncation casts are bit-exact on both engines: u8/u32/i32
+  // wrap-around, bool normalization and float-to-int truncation.
+  constexpr int64_t N = 64;
+  Buffer<int32_t> OutVM({N}), OutRef({N});
+  ExprPtr I = VarRef::make("i");
+  ExprPtr Wide = Binary::make(
+      BinOp::Mul, Binary::make(BinOp::Sub, I, IntImm::make(40)),
+      IntImm::make(1000000007));
+  ExprPtr E = Binary::make(
+      BinOp::Add,
+      Cast::make(Type::int32(),
+                 Cast::make(Type::uint8(), Cast::make(Type::uint32(), Wide))),
+      Cast::make(Type::int32(),
+                 Cast::make(Type::boolean(),
+                            Binary::make(BinOp::Mod, I, IntImm::make(3)))));
+  auto Run = [&](Buffer<int32_t> &Out, InterpEngine Engine) {
+    InterpOptions Options;
+    Options.Engine = Engine;
+    interpret(For::make("i", IntImm::make(0), IntImm::make(N),
+                        ForKind::Serial, Store::make("Out", {I}, E)),
+              {{"Out", Out.ref()}}, Options);
+  };
+  Run(OutVM, InterpEngine::VM);
+  Run(OutRef, InterpEngine::Reference);
+  for (int64_t Idx = 0; Idx != N; ++Idx)
+    ASSERT_EQ(OutVM(Idx), OutRef(Idx)) << "element " << Idx;
+}
+
+TEST(InterpreterTest, VMInitialScalarsBindFreeVariables) {
+  // The access-program escape path interprets subtrees whose loop
+  // variables are pre-bound through InitialScalars; the VM resolves them
+  // to free-variable registers.
+  Buffer<float> A({16}), Out({16});
+  A.fillRandom(8);
+  ExprPtr I = VarRef::make("i"); // never bound by the statement itself
+  StmtPtr S = Store::make("Out", {I}, Load::make("A", {I}, Type::float32()));
+  for (int64_t Bound : {0, 5, 15}) {
+    InterpOptions Options;
+    Options.InitialScalars["i"] = Bound;
+    interpret(S, {{"A", A.ref()}, {"Out", Out.ref()}}, Options);
+    EXPECT_EQ(Out(Bound), A(Bound));
+  }
+}
+
 } // namespace

@@ -4,10 +4,16 @@
 //
 // Property test: ANY legal combination of scheduling directives must
 // compute the same values as the unscheduled definition. Each seed draws
-// random splits (including non-dividing factors), a random loop order,
-// random vectorize/unroll marks and random parallelism for matmul and for
-// the transpose-mask kernel, then checks the interpreter's result against
-// the reference oracle.
+// random splits (including non-dividing factors), a random loop order and
+// random vectorize/unroll marks, then checks the interpreter's result
+// against the reference oracle.
+//
+// The seed count is overridable with LTP_FUZZ_SEEDS (default 24): the
+// per-seed tests pick it up when the binary is (re)discovered or run
+// directly, and the DifferentialVMvsReference sweep honours it at run
+// time, so `LTP_FUZZ_SEEDS=200 ctest -L fuzz` deepens coverage without a
+// rebuild. The sweep runs every seed through both InterpEngine::VM and
+// InterpEngine::Reference and asserts the engines agree element-wise.
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,11 +23,24 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <random>
 
 using namespace ltp;
 
 namespace {
+
+/// Number of fuzz seeds; LTP_FUZZ_SEEDS overrides the default.
+int fuzzSeedCount() {
+  if (const char *Env = std::getenv("LTP_FUZZ_SEEDS")) {
+    int N = std::atoi(Env);
+    if (N > 0)
+      return N;
+  }
+  return 24;
+}
 
 /// Applies a random but valid schedule to the compute stage of \p F.
 void applyRandomSchedule(Func &F, const std::vector<int64_t> &Extents,
@@ -84,6 +103,68 @@ void applyRandomSchedule(Func &F, const std::vector<int64_t> &Extents,
     S.unroll(Leaves[1]);
 }
 
+/// The four fuzzed kernels: name, problem size (deliberately not powers
+/// of two) and the per-kernel seed mix keeping their schedule streams
+/// independent.
+struct FuzzKernel {
+  const char *Name;
+  int64_t Size;
+  uint32_t SeedScale;
+  uint32_t SeedBias;
+};
+
+const FuzzKernel FuzzKernels[] = {
+    {"matmul", 26, 1u, 0u},
+    {"trmm", 21, 7919u, 0u},
+    {"tpm", 33, 104729u, 0u},
+    {"convlayer", 12, 31u, 5u},
+};
+
+/// Element-wise engine agreement: integers and doubles bit-exact (both
+/// engines do identical int64/double operations in identical order);
+/// float32 within a tight relative tolerance (the VM computes float
+/// expressions in `float`, the reference walker in `double`).
+void expectEnginesMatch(const BufferRef &VM, const BufferRef &Ref,
+                        const std::string &Context) {
+  ASSERT_EQ(VM.numElements(), Ref.numElements()) << Context;
+  if (VM.ElemType == ir::Type::float32()) {
+    const float *PV = static_cast<const float *>(VM.Data);
+    const float *PR = static_cast<const float *>(Ref.Data);
+    for (int64_t I = 0; I != VM.numElements(); ++I)
+      ASSERT_NEAR(PV[I], PR[I], 1e-5 * (1.0 + std::fabs(PR[I])))
+          << Context << " element " << I;
+    return;
+  }
+  ASSERT_EQ(std::memcmp(VM.Data, Ref.Data,
+                        static_cast<size_t>(VM.numElements()) *
+                            VM.ElemType.bytes()),
+            0)
+      << Context;
+}
+
+/// Applies the same random schedule to two fresh instances of \p Kernel
+/// and runs one on the VM and one on the reference walker; both must
+/// verify against the oracle and agree with each other.
+void runDifferential(const FuzzKernel &Kernel, int Seed) {
+  const BenchmarkDef *Def = findBenchmark(Kernel.Name);
+  ASSERT_NE(Def, nullptr) << Kernel.Name;
+  BenchmarkInstance OnVM = Def->Create(Kernel.Size);
+  BenchmarkInstance OnRef = Def->Create(Kernel.Size);
+  uint32_t Mix =
+      static_cast<uint32_t>(Seed) * Kernel.SeedScale + Kernel.SeedBias;
+  std::mt19937 RngA(Mix), RngB(Mix);
+  applyRandomSchedule(OnVM.Stages[0], OnVM.StageExtents[0], RngA);
+  applyRandomSchedule(OnRef.Stages[0], OnRef.StageExtents[0], RngB);
+  runInterpreted(OnVM, /*RunParallel=*/false, InterpEngine::VM);
+  runInterpreted(OnRef, /*RunParallel=*/false, InterpEngine::Reference);
+  std::string Context =
+      std::string(Kernel.Name) + " seed " + std::to_string(Seed);
+  EXPECT_TRUE(verifyOutput(OnVM)) << Context << " (vm)";
+  EXPECT_TRUE(verifyOutput(OnRef)) << Context << " (reference)";
+  expectEnginesMatch(OnVM.Buffers.at(OnVM.OutputName),
+                     OnRef.Buffers.at(OnRef.OutputName), Context);
+}
+
 class FuzzSeeds : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzSeeds, MatmulAnyScheduleIsCorrect) {
@@ -122,6 +203,20 @@ TEST_P(FuzzSeeds, ConvLayerAnyScheduleIsCorrect) {
   EXPECT_TRUE(verifyOutput(Instance)) << "seed " << GetParam();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 12));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Range(0, fuzzSeedCount()));
+
+// The differential oracle: every seed, every kernel, both engines. A
+// plain TEST (not TEST_P) so the LTP_FUZZ_SEEDS override takes effect at
+// run time under ctest, whose test list is fixed at discovery time.
+TEST(FuzzSweep, DifferentialVMvsReference) {
+  const int Seeds = fuzzSeedCount();
+  for (int Seed = 0; Seed != Seeds; ++Seed)
+    for (const FuzzKernel &Kernel : FuzzKernels) {
+      runDifferential(Kernel, Seed);
+      if (::testing::Test::HasFatalFailure())
+        return;
+    }
+}
 
 } // namespace

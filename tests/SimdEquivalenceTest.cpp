@@ -98,14 +98,17 @@ void applyVariant(BenchmarkInstance &Instance, Variant V) {
 }
 
 /// Element-wise comparison: bit-exact for integers, relative tolerance
-/// for floats (FMA contraction and reduction reassociation).
+/// for floats (FMA contraction and reduction reassociation). The f32
+/// tolerance is tight because the interpreter's VM computes float
+/// expressions in `float` like the compiled code; only contraction and
+/// reassociation differences remain.
 void expectBuffersMatch(const BufferRef &Got, const BufferRef &Want) {
   ASSERT_EQ(Got.numElements(), Want.numElements());
   if (Got.ElemType == ir::Type::float32()) {
     const float *PG = static_cast<const float *>(Got.Data);
     const float *PW = static_cast<const float *>(Want.Data);
     for (int64_t I = 0; I != Got.numElements(); ++I)
-      ASSERT_NEAR(PG[I], PW[I], 1e-3 * (1.0 + std::fabs(PW[I])))
+      ASSERT_NEAR(PG[I], PW[I], 1e-4 * (1.0 + std::fabs(PW[I])))
           << "element " << I;
     return;
   }
