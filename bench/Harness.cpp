@@ -38,7 +38,8 @@ std::string ltp::bench::applyScheduler(BenchmarkInstance &Instance,
                                        JITCompiler *Compiler,
                                        double AutotuneBudgetSeconds,
                                        const TemporalOptions &Ablation,
-                                       int AutotuneMaxCandidates) {
+                                       int AutotuneMaxCandidates,
+                                       AutotuneOutcome *OutcomeOut) {
   switch (S) {
   case Scheduler::Proposed:
   case Scheduler::ProposedNTI: {
@@ -71,10 +72,13 @@ std::string ltp::bench::applyScheduler(BenchmarkInstance &Instance,
     Options.BudgetSeconds = AutotuneBudgetSeconds;
     Options.MaxCandidates = AutotuneMaxCandidates;
     AutotuneOutcome Outcome = autotune(Instance, *Compiler, Options);
-    return strFormat("autotuner: %d candidates, best %.3f ms (%s)",
-                     Outcome.CandidatesEvaluated,
-                     Outcome.BestSeconds * 1e3,
-                     Outcome.BestDescription.c_str());
+    if (OutcomeOut)
+      *OutcomeOut = Outcome;
+    return strFormat(
+        "autotuner: %d candidates (%d pruned statically), best %.3f ms "
+        "(%s)",
+        Outcome.CandidatesEvaluated, Outcome.CandidatesPruned,
+        Outcome.BestSeconds * 1e3, Outcome.BestDescription.c_str());
   }
   case Scheduler::TSS:
   case Scheduler::TTS: {

@@ -43,14 +43,18 @@ const char *schedulerName(Scheduler S);
 /// Applies \p S to every stage of \p Instance. The autotuner needs a JIT
 /// compiler and a budget; other schedulers ignore those arguments. A
 /// non-zero \p AutotuneMaxCandidates caps the autotuner's candidate
-/// stream so cold and warm runs compile an identical schedule set.
-/// Returns a short description of what was applied.
+/// stream so cold and warm runs compile an identical schedule set. When
+/// \p OutcomeOut is non-null and \p S is the autotuner, the full search
+/// outcome (including the statically-pruned candidate count) is copied
+/// out for stats footers. Returns a short description of what was
+/// applied.
 std::string applyScheduler(BenchmarkInstance &Instance, Scheduler S,
                            const ArchParams &Arch,
                            JITCompiler *Compiler = nullptr,
                            double AutotuneBudgetSeconds = 5.0,
                            const TemporalOptions &Ablation = {},
-                           int AutotuneMaxCandidates = 0);
+                           int AutotuneMaxCandidates = 0,
+                           AutotuneOutcome *OutcomeOut = nullptr);
 
 /// Compiles and times the pipeline: best of \p Runs wall-clock seconds.
 /// Returns a negative value when JIT compilation is unavailable/fails.

@@ -55,6 +55,7 @@ int main(int Argc, char **Argv) {
   const bool Verify = Args.has("verify");
 
   JITCompiler Compiler;
+  AutotuneOutcome TunerTotals;
   std::vector<int> Widths = {10, 15, 12, 10, 10, 40};
   printRow({"benchmark", "scheduler", "time(ms)", "rel-tput",
             Sim ? "sim-cyc" : "", "schedule"},
@@ -80,8 +81,12 @@ int main(int Argc, char **Argv) {
     // buffer maps.
     for (Scheduler S : Schedulers) {
       Row R{S, Def.Create(Size)};
+      AutotuneOutcome Outcome;
       R.Description = applyScheduler(R.Instance, S, Arch, &Compiler,
-                                     Budget, {}, Candidates);
+                                     Budget, {}, Candidates, &Outcome);
+      TunerTotals.CandidatesEvaluated += Outcome.CandidatesEvaluated;
+      TunerTotals.CandidatesFailed += Outcome.CandidatesFailed;
+      TunerTotals.CandidatesPruned += Outcome.CandidatesPruned;
 
       // Proposed+NTI only differs when the classifier enables streaming
       // stores; report it once, on the kernels it applies to.
@@ -164,6 +169,10 @@ int main(int Argc, char **Argv) {
     }
     std::printf("\n");
   }
+  std::printf("autotuner stats  : %d candidates evaluated | %d pruned "
+              "statically | %d failed to compile\n",
+              TunerTotals.CandidatesEvaluated, TunerTotals.CandidatesPruned,
+              TunerTotals.CandidatesFailed);
   printJITStats(Compiler);
   return 0;
 }

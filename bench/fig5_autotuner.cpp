@@ -38,6 +38,7 @@ int main(int Argc, char **Argv) {
   const int Candidates =
       static_cast<int>(Args.getInt("autotune-candidates", 0));
   JITCompiler Compiler;
+  AutotuneOutcome TunerTotals;
   std::vector<int> Widths = {10, 15, 12, 10, 44};
   printRow({"benchmark", "scheduler", "time(ms)", "rel-tput", "notes"},
            Widths);
@@ -50,9 +51,13 @@ int main(int Argc, char **Argv) {
     applyScheduler(Proposed, Scheduler::ProposedNTI, Arch, &Compiler);
 
     BenchmarkInstance Tuned = Def->Create(Size);
+    AutotuneOutcome Outcome;
     std::string TunerNotes =
         applyScheduler(Tuned, Scheduler::Autotuner, Arch, &Compiler,
-                       Budget, {}, Candidates);
+                       Budget, {}, Candidates, &Outcome);
+    TunerTotals.CandidatesEvaluated += Outcome.CandidatesEvaluated;
+    TunerTotals.CandidatesFailed += Outcome.CandidatesFailed;
+    TunerTotals.CandidatesPruned += Outcome.CandidatesPruned;
 
     // Both final pipelines compile in one batch; the tuner's candidate
     // kernels were already compiled batch-wise inside autotune().
@@ -76,6 +81,10 @@ int main(int Argc, char **Argv) {
   }
   std::printf("autotuner budget: %.0f s per benchmark (paper: 1 day)\n",
               Budget);
+  std::printf("autotuner stats : %d candidates evaluated | %d pruned "
+              "statically | %d failed to compile\n",
+              TunerTotals.CandidatesEvaluated, TunerTotals.CandidatesPruned,
+              TunerTotals.CandidatesFailed);
   printJITStats(Compiler);
   return 0;
 }

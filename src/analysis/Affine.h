@@ -1,0 +1,53 @@
+//===- Affine.h - affine index decomposition --------------------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decomposition of index expressions into affine forms `c0 + sum(ci *
+/// var_i)` over loop variables. This is the shared substrate of the access
+/// analysis in src/core/AccessInfo (the paper's classifier input), the
+/// cache simulator's compiled access programs, and the dependence analyzer
+/// in src/analysis/Dependence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_ANALYSIS_AFFINE_H
+#define LTP_ANALYSIS_AFFINE_H
+
+#include "ir/Expr.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace ltp {
+
+/// One affine index expression: Const + sum of Coeff * loop variable.
+struct AffineIndex {
+  int64_t Const = 0;
+  std::map<std::string, int64_t> Coeffs;
+  /// False when the index expression is not affine in the loop variables;
+  /// such accesses disable pattern-driven optimization for the array and
+  /// force the dependence analyzer into its conservative "unknown"
+  /// answer.
+  bool IsAffine = true;
+
+  /// Variables with non-zero coefficients.
+  std::set<std::string> vars() const {
+    std::set<std::string> Out;
+    for (const auto &[Name, Coeff] : Coeffs)
+      if (Coeff != 0)
+        Out.insert(Name);
+    return Out;
+  }
+};
+
+/// Decomposes \p E into an affine form over loop variables.
+AffineIndex decomposeAffine(const ir::ExprPtr &E);
+
+} // namespace ltp
+
+#endif // LTP_ANALYSIS_AFFINE_H

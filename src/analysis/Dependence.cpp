@@ -1,0 +1,461 @@
+//===- Dependence.cpp - affine dependence analysis ------------------------===//
+
+#include "analysis/Dependence.h"
+
+#include "analysis/Affine.h"
+#include "ir/IRVisitor.h"
+#include "ir/Simplify.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+
+using namespace ltp;
+using namespace ltp::analysis;
+using namespace ltp::ir;
+
+//===----------------------------------------------------------------------===//
+// DistanceSet / Dependence rendering
+//===----------------------------------------------------------------------===//
+
+std::string DistanceSet::str() const {
+  if (Exact)
+    return *Exact == 0 ? std::string("0")
+                       : strFormat("%+lld", static_cast<long long>(*Exact));
+  switch (Signs) {
+  case 0:
+    return "none";
+  case Neg:
+    return "-";
+  case Zero:
+    return "0";
+  case Pos:
+    return "+";
+  case Neg | Zero:
+    return "0/-";
+  case Zero | Pos:
+    return "0/+";
+  case Neg | Pos:
+    return "-/+";
+  default:
+    return "*";
+  }
+}
+
+const char *ltp::analysis::depKindName(DepKind K) {
+  switch (K) {
+  case DepKind::Flow:
+    return "flow";
+  case DepKind::Anti:
+    return "anti";
+  case DepKind::Output:
+    return "output";
+  }
+  return "?";
+}
+
+std::string
+Dependence::describe(const std::vector<std::string> &LoopOrder) const {
+  std::vector<std::string> Parts;
+  for (const std::string &Name : LoopOrder) {
+    auto It = Distance.find(Name);
+    Parts.push_back(Name + ":" +
+                    (It == Distance.end() ? std::string("*")
+                                          : It->second.str()));
+  }
+  std::string Out = strFormat("%s %s->%s (%s)", depKindName(Kind),
+                              Buffer.c_str(), Buffer.c_str(),
+                              join(Parts, ", ").c_str());
+  if (Approximate)
+    Out += " [approximate: non-affine subscript]";
+  if (Reduction)
+    Out += " [reduction]";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// DependenceGraph queries
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> DependenceGraph::loopOrder() const {
+  std::vector<std::string> Out;
+  Out.reserve(Loops.size());
+  for (const DepLoop &L : Loops)
+    Out.push_back(L.Name);
+  return Out;
+}
+
+bool DependenceGraph::mayCarry(const std::string &LoopName) const {
+  for (const Dependence &D : Deps) {
+    bool PrefixMayBeZero = true;
+    for (const DepLoop &L : Loops) {
+      auto It = D.Distance.find(L.Name);
+      DistanceSet S = It == D.Distance.end() ? DistanceSet::any() : It->second;
+      if (L.Name == LoopName) {
+        if (PrefixMayBeZero && S.mayBeNonZero())
+          return true;
+        break;
+      }
+      if (!S.mayBeZero()) {
+        PrefixMayBeZero = false;
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+std::string DependenceGraph::print() const {
+  std::string Out = "loops (outermost first):";
+  for (const DepLoop &L : Loops) {
+    Out += " " + L.Name;
+    if (L.Extent)
+      Out += strFormat("[%lld]", static_cast<long long>(*L.Extent));
+    if (L.IsReduction)
+      Out += "(r)";
+  }
+  Out += "\n";
+  if (Deps.empty())
+    return Out + "no dependences: every loop is parallelizable\n";
+  std::vector<std::string> Order = loopOrder();
+  for (const Dependence &D : Deps)
+    Out += "  " + D.describe(Order) + "\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Graph construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects every load in an expression tree.
+class LoadCollector : public IRVisitor {
+public:
+  std::vector<const Load *> Loads;
+
+protected:
+  void visit(const Load *Node) override {
+    Loads.push_back(Node);
+    IRVisitor::visit(Node);
+  }
+};
+
+bool sameAffineIndex(const std::vector<AffineIndex> &A,
+                     const std::vector<AffineIndex> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t D = 0; D != A.size(); ++D)
+    if (A[D].Const != B[D].Const || A[D].Coeffs != B[D].Coeffs ||
+        A[D].IsAffine != B[D].IsAffine)
+      return false;
+  return true;
+}
+
+/// The solved constraint system of one (write, read-or-write) access pair:
+/// per-loop sets of Delta = target iteration - source iteration.
+struct PairSolution {
+  bool Independent = false;
+  bool Approximate = false;
+  std::map<std::string, DistanceSet> Delta;
+};
+
+/// Intersects Delta[Var] with the exact distance \p D.
+void intersectExact(PairSolution &Sol, const std::string &Var, int64_t D) {
+  auto It = Sol.Delta.find(Var);
+  if (It != Sol.Delta.end() && It->second.Exact && *It->second.Exact != D) {
+    Sol.Independent = true;
+    return;
+  }
+  Sol.Delta[Var] = DistanceSet::exact(D);
+}
+
+/// Solves the per-dimension equality f1(V1) = f2(V2) of one access pair
+/// across all dimensions. \p Loops supplies the constant bounds for the
+/// SIV extent check and the Banerjee bounds.
+PairSolution solvePair(const std::vector<AffineIndex> &F1,
+                       const std::vector<AffineIndex> &F2,
+                       const std::vector<DepLoop> &Loops) {
+  PairSolution Sol;
+  auto FindLoop = [&](const std::string &Name) -> const DepLoop * {
+    for (const DepLoop &L : Loops)
+      if (L.Name == Name)
+        return &L;
+    return nullptr;
+  };
+  for (const DepLoop &L : Loops)
+    Sol.Delta[L.Name] = DistanceSet::any();
+
+  if (F1.size() != F2.size()) {
+    Sol.Approximate = true;
+    return Sol;
+  }
+
+  for (size_t D = 0; D != F1.size() && !Sol.Independent; ++D) {
+    const AffineIndex &A = F1[D];
+    const AffineIndex &B = F2[D];
+    if (!A.IsAffine || !B.IsAffine) {
+      Sol.Approximate = true;
+      continue;
+    }
+    // Variables that are not loops of this nest (there should be none in
+    // a well-formed definition) make the dimension unanalyzable.
+    bool UnknownVar = false;
+    for (const auto &Form : {A, B})
+      for (const std::string &V : Form.vars())
+        if (!FindLoop(V))
+          UnknownVar = true;
+    if (UnknownVar) {
+      Sol.Approximate = true;
+      continue;
+    }
+
+    std::set<std::string> Vars = A.vars();
+    for (const std::string &V : B.vars())
+      Vars.insert(V);
+
+    // ZIV: constant subscripts on both sides.
+    if (Vars.empty()) {
+      if (A.Const != B.Const)
+        Sol.Independent = true;
+      continue;
+    }
+
+    // SIV: a single variable.
+    if (Vars.size() == 1) {
+      const std::string &V = *Vars.begin();
+      int64_t C1 = A.Coeffs.count(V) ? A.Coeffs.at(V) : 0;
+      int64_t C2 = B.Coeffs.count(V) ? B.Coeffs.at(V) : 0;
+      if (C1 == C2 && C1 != 0) {
+        // Strong SIV: C*(v2 - v1) = A.Const - B.Const.
+        int64_t Rhs = A.Const - B.Const;
+        if (Rhs % C1 != 0) {
+          Sol.Independent = true;
+          continue;
+        }
+        int64_t Dist = Rhs / C1;
+        const DepLoop *L = FindLoop(V);
+        if (L && L->Extent && std::llabs(Dist) >= *L->Extent) {
+          Sol.Independent = true;
+          continue;
+        }
+        intersectExact(Sol, V, Dist);
+        continue;
+      }
+      if (C1 != 0 && C2 == 0) {
+        // Weak-zero SIV: C1*v1 = B.Const - A.Const pins the source
+        // iteration; independence when no iteration satisfies it.
+        int64_t Rhs = B.Const - A.Const;
+        const DepLoop *L = FindLoop(V);
+        if (Rhs % C1 != 0) {
+          Sol.Independent = true;
+          continue;
+        }
+        int64_t Fixed = Rhs / C1;
+        if (L && L->Min && L->Extent &&
+            (Fixed < *L->Min || Fixed >= *L->Min + *L->Extent)) {
+          Sol.Independent = true;
+          continue;
+        }
+        continue; // no constraint on the distance itself
+      }
+      if (C1 == 0 && C2 != 0) {
+        int64_t Rhs = A.Const - B.Const;
+        const DepLoop *L = FindLoop(V);
+        if (Rhs % C2 != 0) {
+          Sol.Independent = true;
+          continue;
+        }
+        int64_t Fixed = Rhs / C2;
+        if (L && L->Min && L->Extent &&
+            (Fixed < *L->Min || Fixed >= *L->Min + *L->Extent)) {
+          Sol.Independent = true;
+          continue;
+        }
+        continue;
+      }
+      // Weak-crossing SIV (different non-zero coefficients): fall through
+      // to the MIV tests below.
+    }
+
+    // General equation: sum(C2_v * v2) - sum(C1_v * v1) = A.Const - B.Const.
+    int64_t Rhs = A.Const - B.Const;
+
+    // GCD test.
+    int64_t G = 0;
+    for (const auto &[V, C] : A.Coeffs)
+      G = std::gcd(G, std::llabs(C));
+    for (const auto &[V, C] : B.Coeffs)
+      G = std::gcd(G, std::llabs(C));
+    if (G > 0 && Rhs % G != 0) {
+      Sol.Independent = true;
+      continue;
+    }
+
+    // Banerjee bounds: min/max of the LHS over the rectangular iteration
+    // space (predicates ignored; that is the sound over-approximation).
+    bool BoundsKnown = true;
+    int64_t Lo = 0;
+    int64_t Hi = 0;
+    auto Accumulate = [&](int64_t C, const std::string &V, bool Negate) {
+      const DepLoop *L = FindLoop(V);
+      if (!L || !L->Min || !L->Extent || *L->Extent <= 0) {
+        BoundsKnown = false;
+        return;
+      }
+      int64_t VMin = *L->Min;
+      int64_t VMax = *L->Min + *L->Extent - 1;
+      int64_t Eff = Negate ? -C : C;
+      Lo += Eff > 0 ? Eff * VMin : Eff * VMax;
+      Hi += Eff > 0 ? Eff * VMax : Eff * VMin;
+    };
+    for (const auto &[V, C] : B.Coeffs)
+      Accumulate(C, V, /*Negate=*/false);
+    for (const auto &[V, C] : A.Coeffs)
+      Accumulate(C, V, /*Negate=*/true);
+    if (BoundsKnown && (Rhs < Lo || Rhs > Hi)) {
+      Sol.Independent = true;
+      continue;
+    }
+    // No per-loop distance constraint from coupled subscripts: the
+    // conservative "any" stands for the participating loops.
+  }
+  return Sol;
+}
+
+/// Restricts \p Delta to lexicographically non-negative vectors in the
+/// given original loop order (outermost first). Returns false when the
+/// set becomes empty (the dependence cannot exist in this direction).
+bool normalizeLexNonNegative(std::map<std::string, DistanceSet> &Delta,
+                             const std::vector<DepLoop> &Loops) {
+  for (const DepLoop &L : Loops) {
+    DistanceSet &S = Delta[L.Name];
+    if (S.definitelyZero())
+      continue;
+    // First loop whose distance may be non-zero: a negative distance here
+    // would make the vector lexicographically negative.
+    S.dropNegative();
+    if (S.infeasible())
+      return false;
+    break;
+  }
+  return true;
+}
+
+bool definitelyAllZero(const std::map<std::string, DistanceSet> &Delta) {
+  for (const auto &[Name, S] : Delta)
+    if (!S.definitelyZero())
+      return false;
+  return true;
+}
+
+} // namespace
+
+DependenceGraph
+ltp::analysis::buildDependenceGraph(const Func &F, int StageIndex,
+                                    const std::vector<int64_t> &OutputExtents) {
+  assert(F.defined() && "cannot analyze an undefined Func");
+  assert(OutputExtents.size() == F.args().size() &&
+         "output extents must match the Func's dimensionality");
+  const Definition &Def = StageIndex < 0 ? F.pureDefinition()
+                                         : F.updateDefinition(StageIndex);
+
+  DependenceGraph Graph;
+
+  // Loops in original execution order: reduction loops outermost (the
+  // reverse of lowering's innermost-first dim list).
+  std::vector<DepLoop> InnermostFirst;
+  std::set<std::string> Seen;
+  for (size_t D = 0; D != Def.Indices.size(); ++D) {
+    const VarRef *V = exprDynAs<VarRef>(Def.Indices[D].node());
+    assert(V && "store indices must be plain variables");
+    if (!Seen.insert(V->Name).second)
+      continue;
+    DepLoop L;
+    L.Name = V->Name;
+    L.Min = 0;
+    L.Extent = OutputExtents[D];
+    InnermostFirst.push_back(L);
+  }
+  for (const ReductionVarInfo &R : Def.RVars) {
+    DepLoop L;
+    L.Name = R.Name;
+    L.IsReduction = true;
+    L.Min = asConstInt(simplify(R.Min.node()));
+    L.Extent = asConstInt(simplify(R.Extent.node()));
+    InnermostFirst.push_back(L);
+  }
+  Graph.Loops.assign(InnermostFirst.rbegin(), InnermostFirst.rend());
+
+  // The write access (always plain distinct variables) and every read of
+  // the output buffer, deduplicated by index.
+  std::vector<AffineIndex> Write;
+  for (const Expr &Index : Def.Indices)
+    Write.push_back(decomposeAffine(Index.node()));
+
+  LoadCollector Collector;
+  Collector.visitExpr(Def.Value.node());
+  for (const Expr &Pred : Def.Predicates)
+    Collector.visitExpr(Pred.node());
+
+  std::vector<std::vector<AffineIndex>> SelfReads;
+  for (const Load *L : Collector.Loads) {
+    if (L->BufferName != F.name())
+      continue;
+    std::vector<AffineIndex> Index;
+    for (const ExprPtr &E : L->Indices)
+      Index.push_back(decomposeAffine(E));
+    bool Duplicate = false;
+    for (const std::vector<AffineIndex> &Existing : SelfReads)
+      if (sameAffineIndex(Existing, Index))
+        Duplicate = true;
+    if (!Duplicate)
+      SelfReads.push_back(std::move(Index));
+  }
+
+  auto EmitDep = [&](DepKind Kind, PairSolution Sol, bool Negate,
+                     bool Reduction) {
+    std::map<std::string, DistanceSet> Delta = Sol.Delta;
+    if (Negate)
+      for (auto &[Name, S] : Delta)
+        S = S.negated();
+    if (!normalizeLexNonNegative(Delta, Graph.Loops))
+      return;
+    if (definitelyAllZero(Delta))
+      return; // intra-iteration: the statement executes atomically
+    Dependence Dep;
+    Dep.Kind = Kind;
+    Dep.Buffer = F.name();
+    Dep.Approximate = Sol.Approximate;
+    Dep.Reduction = Reduction;
+    Dep.Distance = std::move(Delta);
+    if (Dep.Approximate)
+      Graph.Affine = false;
+    Graph.Deps.push_back(std::move(Dep));
+  };
+
+  // Output dependence: the store against itself. With plain-variable
+  // subscripts this only survives when a reduction variable is absent
+  // from the store index (the accumulator is written every iteration).
+  {
+    PairSolution Sol = solvePair(Write, Write, InnermostFirst);
+    if (!Sol.Independent)
+      EmitDep(DepKind::Output, Sol, /*Negate=*/false,
+              /*Reduction=*/StageIndex >= 0);
+  }
+
+  // Flow (write before read) and anti (read before write) dependences
+  // for every distinct read of the output buffer.
+  for (const std::vector<AffineIndex> &Read : SelfReads) {
+    PairSolution Sol = solvePair(Write, Read, InnermostFirst);
+    if (Sol.Independent)
+      continue;
+    bool Reduction = StageIndex >= 0 && sameAffineIndex(Write, Read);
+    EmitDep(DepKind::Flow, Sol, /*Negate=*/false, Reduction);
+    EmitDep(DepKind::Anti, Sol, /*Negate=*/true, Reduction);
+  }
+
+  return Graph;
+}

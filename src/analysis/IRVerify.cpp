@@ -1,0 +1,175 @@
+//===- IRVerify.cpp - structural IR verification --------------------------===//
+
+#include "analysis/IRVerify.h"
+
+#include "ir/Expr.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace ltp;
+using namespace ltp::analysis;
+using namespace ltp::ir;
+
+namespace {
+
+/// Scoped walker. Scope holds the variables bound by enclosing For and
+/// LetStmt nodes; BufferRanks records the first-seen rank of each buffer.
+class Verifier {
+public:
+  explicit Verifier(const IRVerifyOptions &Options) : Options(Options) {}
+
+  std::string Error;
+
+  void checkStmt(const StmtPtr &S) {
+    if (!Error.empty())
+      return;
+    if (!S) {
+      Error = "null statement";
+      return;
+    }
+    switch (S->kind()) {
+    case StmtKind::For: {
+      const For *Node = stmtAs<For>(S);
+      checkExpr(Node->Min);
+      checkExpr(Node->Extent);
+      if (Node->Kind == ForKind::Vectorized) {
+        // Tail loops may have a non-constant (min-clamped) extent; the
+        // code generators fall back to scalar execution for those.
+        auto Extent = asConstInt(Node->Extent);
+        if (Extent && (*Extent < 0 || *Extent > Options.MaxVectorExtent))
+          Error = strFormat(
+              "vectorized loop '%s' extent %lld exceeds the backend limit "
+              "%lld",
+              Node->VarName.c_str(), static_cast<long long>(*Extent),
+              static_cast<long long>(Options.MaxVectorExtent));
+      }
+      if (!Scope.insert(Node->VarName).second) {
+        Error = strFormat("duplicate nested loop name '%s'",
+                          Node->VarName.c_str());
+        return;
+      }
+      checkStmt(Node->Body);
+      Scope.erase(Node->VarName);
+      return;
+    }
+    case StmtKind::Store: {
+      const Store *Node = stmtAs<Store>(S);
+      checkBuffer(Node->BufferName, Node->Indices.size());
+      for (const ExprPtr &Index : Node->Indices)
+        checkExpr(Index);
+      checkExpr(Node->Value);
+      return;
+    }
+    case StmtKind::LetStmt: {
+      const LetStmt *Node = stmtAs<LetStmt>(S);
+      checkExpr(Node->Value);
+      bool Fresh = Scope.insert(Node->Name).second;
+      checkStmt(Node->Body);
+      if (Fresh)
+        Scope.erase(Node->Name);
+      return;
+    }
+    case StmtKind::IfThenElse: {
+      const IfThenElse *Node = stmtAs<IfThenElse>(S);
+      checkExpr(Node->Cond);
+      checkStmt(Node->Then);
+      if (Node->Else)
+        checkStmt(Node->Else);
+      return;
+    }
+    case StmtKind::Block: {
+      const Block *Node = stmtAs<Block>(S);
+      for (const StmtPtr &Sub : Node->Stmts)
+        checkStmt(Sub);
+      return;
+    }
+    }
+    Error = "unknown statement kind";
+  }
+
+private:
+  const IRVerifyOptions &Options;
+  std::set<std::string> Scope;
+  std::map<std::string, size_t> BufferRanks;
+
+  void checkBuffer(const std::string &Name, size_t Rank) {
+    if (!Error.empty())
+      return;
+    if (Options.KnownBuffers && !Options.KnownBuffers->count(Name)) {
+      Error = strFormat("access to unknown buffer '%s'", Name.c_str());
+      return;
+    }
+    auto [It, Fresh] = BufferRanks.emplace(Name, Rank);
+    if (!Fresh && It->second != Rank)
+      Error = strFormat("buffer '%s' accessed with rank %zu and rank %zu",
+                        Name.c_str(), It->second, Rank);
+  }
+
+  void checkExpr(const ExprPtr &E) {
+    if (!Error.empty())
+      return;
+    if (!E) {
+      Error = "null expression";
+      return;
+    }
+    switch (E->kind()) {
+    case ExprKind::IntImm:
+    case ExprKind::FloatImm:
+      return;
+    case ExprKind::VarRef: {
+      const VarRef *Node = exprAs<VarRef>(E);
+      if (!Scope.count(Node->Name))
+        Error = strFormat("variable '%s' referenced outside any binding "
+                          "loop or let",
+                          Node->Name.c_str());
+      return;
+    }
+    case ExprKind::Load: {
+      const Load *Node = exprAs<Load>(E);
+      checkBuffer(Node->BufferName, Node->Indices.size());
+      for (const ExprPtr &Index : Node->Indices)
+        checkExpr(Index);
+      return;
+    }
+    case ExprKind::Binary: {
+      const Binary *Node = exprAs<Binary>(E);
+      checkExpr(Node->A);
+      checkExpr(Node->B);
+      return;
+    }
+    case ExprKind::Cast:
+      checkExpr(exprAs<Cast>(E)->Value);
+      return;
+    case ExprKind::Select: {
+      const Select *Node = exprAs<Select>(E);
+      checkExpr(Node->Cond);
+      checkExpr(Node->TrueValue);
+      checkExpr(Node->FalseValue);
+      return;
+    }
+    }
+    Error = "unknown expression kind";
+  }
+};
+
+} // namespace
+
+std::string ltp::analysis::verifyIR(const StmtPtr &S,
+                                    const IRVerifyOptions &Options) {
+  Verifier V(Options);
+  V.checkStmt(S);
+  return V.Error;
+}
+
+void ltp::analysis::assertIRWellFormed(const StmtPtr &S, const char *Context,
+                                       const IRVerifyOptions &Options) {
+  std::string Error = verifyIR(S, Options);
+  if (Error.empty())
+    return;
+  std::fprintf(stderr, "ltp: malformed IR after %s: %s\n", Context,
+               Error.c_str());
+  std::abort();
+}

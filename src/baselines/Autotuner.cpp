@@ -2,6 +2,7 @@
 
 #include "baselines/Autotuner.h"
 
+#include "analysis/Legality.h"
 #include "benchmarks/PipelineRunner.h"
 #include "core/AccessInfo.h"
 #include "support/Format.h"
@@ -87,29 +88,35 @@ void applyDecision(Func &F, int StageIndex, const StageAccessInfo &Info,
   if (Order.size() > 1)
     S.reorder(Order);
 
-  if (D.Parallel && Arch.NCores > 1) {
-    // Parallelize the outermost pure loop of the final order.
-    std::string Candidate;
-    for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
-      std::string Base = It->str();
-      if (Base.size() > 2 && (Base.ends_with("_t") || Base.ends_with("_i")))
-        Base = Base.substr(0, Base.size() - 2);
-      for (const LoopInfo &Loop : Info.Loops)
-        if (Loop.Name == Base && !Loop.IsReduction)
-          Candidate = It->str();
-      if (!Candidate.empty())
-        break;
-    }
-    if (!Candidate.empty())
-      S.parallel(Candidate);
+  if (D.Parallel && Arch.NCores > 1 && !Order.empty()) {
+    // Parallelize the outermost loop of the final order most of the time,
+    // occasionally any loop. The draw is purity-blind: illegal picks (a
+    // dependence-carrying reduction loop, say) are discarded by the
+    // static verifier before compilation, the way OpenTuner discards
+    // invalid configurations instead of steering the generator around
+    // them.
+    size_t Pick = Order.size() - 1;
+    if (std::uniform_int_distribution<int>(0, 9)(OrderRng) < 3)
+      Pick = std::uniform_int_distribution<size_t>(0, Order.size() - 1)(
+          OrderRng);
+    S.parallel(Order[Pick]);
   }
-  if (D.Vectorize && Arch.VectorWidth > 1) {
-    auto It = D.Tiles.find(Column);
-    bool Tiled = It != D.Tiles.end() &&
-                 It->second < Info.Loops.front().Extent;
-    int64_t InnerExtent = Tiled ? It->second : Info.Loops.front().Extent;
-    if (InnerExtent >= Arch.VectorWidth)
-      S.vectorize(Tiled ? Column + "_i" : Column);
+  if (D.Vectorize && Arch.VectorWidth > 1 && !Order.empty()) {
+    // Mostly the innermost (column) loop, occasionally any loop. Like the
+    // parallel draw this is purity-blind; a vectorize drawn on a
+    // dependence-carrying reduction loop is pruned statically.
+    if (std::uniform_int_distribution<int>(0, 9)(OrderRng) < 3) {
+      size_t Pick = std::uniform_int_distribution<size_t>(0, Order.size() - 1)(
+          OrderRng);
+      S.vectorize(Order[Pick]);
+    } else {
+      auto It = D.Tiles.find(Column);
+      bool Tiled = It != D.Tiles.end() &&
+                   It->second < Info.Loops.front().Extent;
+      int64_t InnerExtent = Tiled ? It->second : Info.Loops.front().Extent;
+      if (InnerExtent >= Arch.VectorWidth)
+        S.vectorize(Tiled ? Column + "_i" : Column);
+    }
   }
 }
 
@@ -173,6 +180,20 @@ AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
         Decision.push_back(drawDecision(Info, Rng, Options));
       }
       applyPipelineDecision(Instance, Decision, Arch);
+      // Static legality pruning: drop candidates the verifier rejects
+      // before spending a compilation on them.
+      bool Illegal = false;
+      for (size_t I = 0; I != Instance.Stages.size() && !Illegal; ++I) {
+        const Func &F = Instance.Stages[I];
+        int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+        Illegal = analysis::verifyStageSchedule(F, ComputeStage,
+                                                Instance.StageExtents[I])
+                      .hasErrors();
+      }
+      if (Illegal) {
+        ++Outcome.CandidatesPruned;
+        continue;
+      }
       Jobs.push_back(makeCompileJob(Instance));
       Batch.push_back(std::move(Decision));
     }

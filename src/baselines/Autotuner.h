@@ -56,6 +56,10 @@ struct AutotuneOutcome {
   double BestSeconds = -1.0;
   int CandidatesEvaluated = 0;
   int CandidatesFailed = 0;
+  /// Candidates rejected by the static legality verifier before any
+  /// compilation was attempted (e.g. a parallel mark drawn on a
+  /// dependence-carrying reduction loop).
+  int CandidatesPruned = 0;
   std::string BestDescription;
 };
 

@@ -42,54 +42,7 @@ std::vector<const ArrayAccess *> StageAccessInfo::inputs() const {
   return Out;
 }
 
-//===----------------------------------------------------------------------===//
-// Affine decomposition
-//===----------------------------------------------------------------------===//
-
 namespace {
-
-/// Adds Scale * E into Acc; clears IsAffine when E is not affine.
-void accumulateAffine(const ExprPtr &E, int64_t Scale, AffineIndex &Acc) {
-  switch (E->kind()) {
-  case ExprKind::IntImm:
-    Acc.Const += Scale * exprAs<IntImm>(E)->Value;
-    return;
-  case ExprKind::VarRef:
-    Acc.Coeffs[exprAs<VarRef>(E)->Name] += Scale;
-    return;
-  case ExprKind::Cast:
-    accumulateAffine(exprAs<Cast>(E)->Value, Scale, Acc);
-    return;
-  case ExprKind::Binary: {
-    const Binary *B = exprAs<Binary>(E);
-    if (B->Op == BinOp::Add) {
-      accumulateAffine(B->A, Scale, Acc);
-      accumulateAffine(B->B, Scale, Acc);
-      return;
-    }
-    if (B->Op == BinOp::Sub) {
-      accumulateAffine(B->A, Scale, Acc);
-      accumulateAffine(B->B, -Scale, Acc);
-      return;
-    }
-    if (B->Op == BinOp::Mul) {
-      if (auto C = asConstInt(B->A)) {
-        accumulateAffine(B->B, Scale * *C, Acc);
-        return;
-      }
-      if (auto C = asConstInt(B->B)) {
-        accumulateAffine(B->A, Scale * *C, Acc);
-        return;
-      }
-    }
-    Acc.IsAffine = false;
-    return;
-  }
-  default:
-    Acc.IsAffine = false;
-    return;
-  }
-}
 
 /// Collects every load in an expression tree.
 class LoadCollector : public IRVisitor {
@@ -123,19 +76,6 @@ std::vector<AffineIndex> decomposeAll(const std::vector<ExprPtr> &Indices) {
 }
 
 } // namespace
-
-AffineIndex ltp::decomposeAffine(const ExprPtr &E) {
-  AffineIndex Acc;
-  accumulateAffine(E, 1, Acc);
-  // Drop zero coefficients so vars() is exact.
-  for (auto It = Acc.Coeffs.begin(); It != Acc.Coeffs.end();) {
-    if (It->second == 0)
-      It = Acc.Coeffs.erase(It);
-    else
-      ++It;
-  }
-  return Acc;
-}
 
 //===----------------------------------------------------------------------===//
 // Stage analysis

@@ -18,6 +18,7 @@
 #ifndef LTP_CORE_ACCESSINFO_H
 #define LTP_CORE_ACCESSINFO_H
 
+#include "analysis/Affine.h"
 #include "lang/Func.h"
 
 #include <cstdint>
@@ -27,24 +28,6 @@
 #include <vector>
 
 namespace ltp {
-
-/// One affine index expression: Const + sum of Coeff * loop variable.
-struct AffineIndex {
-  int64_t Const = 0;
-  std::map<std::string, int64_t> Coeffs;
-  /// False when the index expression is not affine in the loop variables;
-  /// such accesses disable pattern-driven optimization for the array.
-  bool IsAffine = true;
-
-  /// Variables with non-zero coefficients.
-  std::set<std::string> vars() const {
-    std::set<std::string> Out;
-    for (const auto &[Name, Coeff] : Coeffs)
-      if (Coeff != 0)
-        Out.insert(Name);
-    return Out;
-  }
-};
 
 /// One array access (a load or the stage's store target).
 struct ArrayAccess {
@@ -108,9 +91,6 @@ struct StageAccessInfo {
   /// Input accesses only (excludes the output/store access).
   std::vector<const ArrayAccess *> inputs() const;
 };
-
-/// Decomposes \p E into an affine form over loop variables.
-AffineIndex decomposeAffine(const ir::ExprPtr &E);
 
 /// Analyzes stage \p StageIndex (-1 = pure) of \p F realized over
 /// \p OutputExtents. Reduction extents must be compile-time constants

@@ -2,10 +2,12 @@
 
 #include "core/Optimizer.h"
 
+#include "analysis/Legality.h"
 #include "support/Format.h"
 #include "support/Timer.h"
 
 #include <cassert>
+#include <cstdio>
 
 using namespace ltp;
 
@@ -90,6 +92,24 @@ OptimizationResult ltp::optimize(Func &F,
     Result.AppliedNonTemporal = true;
     Result.Description += " +NTI";
   }
+
+  // Post-condition: every schedule the optimizer emits must pass the
+  // static verifier. A failure here is an optimizer bug, not user error.
+#ifndef NDEBUG
+  std::vector<int> ScheduledStages = {ComputeStage};
+  if (ComputeStage >= 0)
+    ScheduledStages.push_back(-1); // the init stage scheduled above
+  for (int Stage : ScheduledStages) {
+    analysis::LegalityReport Report =
+        analysis::verifyStageSchedule(F, Stage, OutputExtents);
+    if (Report.hasErrors()) {
+      std::fprintf(stderr, "ltp: optimizer produced an illegal schedule "
+                           "for '%s' stage %d:\n%s\n",
+                   F.name().c_str(), Stage, Report.message().c_str());
+      assert(false && "optimizer produced an illegal schedule");
+    }
+  }
+#endif
 
   Result.RuntimeMillis = T.elapsedMillis();
   return Result;

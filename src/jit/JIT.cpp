@@ -129,22 +129,22 @@ void CompiledKernel::run(
 JITCompiler::JITCompiler(std::string CompilerPath)
     : Compiler(std::move(CompilerPath)) {
   if (Compiler.empty()) {
-    if (const char *FromEnv = std::getenv("LTP_CC"))
+    if (const char *FromEnv = std::getenv("LTP_CC")) // NOLINT(concurrency-mt-unsafe)
       Compiler = FromEnv;
     else
       Compiler = "cc";
   }
   // Private module directory under TMPDIR.
-  const char *Tmp = std::getenv("TMPDIR");
+  const char *Tmp = std::getenv("TMPDIR"); // NOLINT(concurrency-mt-unsafe)
   std::string Base = Tmp ? Tmp : "/tmp";
   WorkDir = Base + strFormat("/ltp-jit-%d", static_cast<int>(::getpid()));
   ::mkdir(WorkDir.c_str(), 0700);
 
-  if (const char *Env = std::getenv("LTP_JIT_DISK_CACHE"))
+  if (const char *Env = std::getenv("LTP_JIT_DISK_CACHE")) // NOLINT(concurrency-mt-unsafe)
     DiskCacheEnabled = std::string(Env) != "0";
-  if (const char *Dir = std::getenv("LTP_JIT_CACHE_DIR"))
+  if (const char *Dir = std::getenv("LTP_JIT_CACHE_DIR")) // NOLINT(concurrency-mt-unsafe)
     CacheDirPath = Dir;
-  else if (const char *Xdg = std::getenv("XDG_CACHE_HOME"))
+  else if (const char *Xdg = std::getenv("XDG_CACHE_HOME")) // NOLINT(concurrency-mt-unsafe)
     CacheDirPath = std::string(Xdg) + "/ltp-jit";
   else
     CacheDirPath = Base + "/ltp-jit-cache";
@@ -399,7 +399,7 @@ bool ltp::jitAvailable() {
   static int Cached = -1;
   if (Cached >= 0)
     return Cached != 0;
-  const char *FromEnv = std::getenv("LTP_CC");
+  const char *FromEnv = std::getenv("LTP_CC"); // NOLINT(concurrency-mt-unsafe)
   std::string Compiler = FromEnv ? FromEnv : "cc";
   std::string Command = Compiler + " --version > /dev/null 2>&1";
   Cached = std::system(Command.c_str()) == 0 ? 1 : 0;

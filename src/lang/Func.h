@@ -151,8 +151,9 @@ public:
   /// Sets the final loop order, innermost first.
   Stage &reorder(std::vector<VarName> InnermostFirst);
 
-  /// Runs loop \p Name across the thread pool. Reduction loops cannot be
-  /// parallelized (data race on the output).
+  /// Runs loop \p Name across the thread pool. The static legality
+  /// verifier rejects parallel marks on dependence-carrying loops (e.g. a
+  /// reduction's accumulator loop) before lowering.
   Stage &parallel(VarName Name);
 
   /// Marks loop \p Name for SIMD execution. The two-argument form splits

@@ -2,12 +2,16 @@
 
 #include "lang/Lower.h"
 
+#include "analysis/IRVerify.h"
+#include "analysis/Legality.h"
 #include "ir/IRMutator.h"
 #include "ir/IRVisitor.h"
 #include "ir/Simplify.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <set>
 
@@ -170,11 +174,11 @@ void applyReorder(StageNest &Nest, const ReorderDirective &R) {
 }
 
 void applyMark(StageNest &Nest, const MarkDirective &M) {
+  // Schedule legality (including parallel marks on dependence-carrying
+  // reduction loops) is enforced up front by the verifier in lowerStage.
   size_t Pos = Nest.findDim(M.Name);
   switch (M.Mark) {
   case MarkDirective::Kind::Parallel:
-    assert(!Nest.Dims[Pos].IsRVar &&
-           "cannot parallelize a reduction loop (output data race)");
     Nest.Dims[Pos].Kind = ForKind::Parallel;
     return;
   case MarkDirective::Kind::Vectorize:
@@ -222,6 +226,20 @@ StmtPtr ltp::lowerStage(const Func &F, int StageIndex,
          "output extents must match the Func's dimensionality");
   const Definition &Def = StageIndex < 0 ? F.pureDefinition()
                                          : F.updateDefinition(StageIndex);
+
+  // Static legality gate: reject schedules that reverse a dependence,
+  // race, or break loop nesting before any code is generated.
+  {
+    analysis::LegalityReport Report =
+        analysis::verifyStageSchedule(F, StageIndex, OutputExtents);
+    if (Report.hasErrors()) {
+      std::fprintf(stderr,
+                   "ltp: illegal schedule for '%s' stage %d:\n%s\n%s",
+                   F.name().c_str(), StageIndex,
+                   Report.message().c_str(), Report.Graph.print().c_str());
+      std::abort();
+    }
+  }
 
   StageNest Nest;
   for (const Expr &Index : Def.Indices) {
@@ -302,7 +320,10 @@ StmtPtr ltp::lowerStage(const Func &F, int StageIndex,
     Body = For::make(Dim.Name, Dim.Min, Dim.Extent, Dim.Kind, Body);
   }
 
-  return simplify(Body);
+  analysis::assertIRWellFormed(Body, "lowering");
+  StmtPtr Simplified = simplify(Body);
+  analysis::assertIRWellFormed(Simplified, "simplify");
+  return Simplified;
 }
 
 StmtPtr ltp::lowerFunc(const Func &F,

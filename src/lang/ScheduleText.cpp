@@ -2,6 +2,7 @@
 
 #include "lang/ScheduleText.h"
 
+#include "analysis/Legality.h"
 #include "support/Format.h"
 
 #include <cassert>
@@ -73,6 +74,7 @@ public:
     }
     if (Pos >= Text.size())
       return false;
+    UnitStart = Pos;
     Name = ident();
     if (Name.empty()) {
       Error = strFormat("expected directive name at offset %zu", Pos);
@@ -104,10 +106,15 @@ public:
         return false;
       }
     }
+    UnitEnd = Pos;
     return true;
   }
 
   bool failed() const { return !ErrorText.empty(); }
+
+  /// Source range of the unit most recently returned by next().
+  size_t UnitStart = 0;
+  size_t UnitEnd = 0;
 
 private:
   void skipSpace() {
@@ -134,12 +141,24 @@ private:
 } // namespace
 
 ErrorOr<bool> ltp::applyScheduleText(Func &F, int StageIndex,
-                                     const std::string &Text) {
+                                     const std::string &Text,
+                                     std::vector<ScheduleSpan> *Spans) {
   Stage S = StageIndex < 0 ? F.pureStage() : F.update(StageIndex);
+  const Definition &Def = StageIndex < 0 ? F.pureDefinition()
+                                         : F.updateDefinition(StageIndex);
   Parser P(Text);
   std::string Name;
   std::vector<std::string> Args;
   std::string Error;
+  size_t DirectivesBefore = Def.Schedule.Directives.size();
+  auto RecordSpan = [&]() {
+    size_t After = Def.Schedule.Directives.size();
+    if (Spans)
+      Spans->push_back({P.UnitStart, P.UnitEnd - P.UnitStart,
+                        static_cast<int>(DirectivesBefore),
+                        static_cast<int>(After) - 1});
+    DirectivesBefore = After;
+  };
   while (P.next(Name, Args, Error)) {
     if (Name == "split") {
       if (Args.size() != 4)
@@ -203,10 +222,38 @@ ErrorOr<bool> ltp::applyScheduleText(Func &F, int StageIndex,
     } else {
       return ErrorOr<bool>::makeError("unknown directive '" + Name + "'");
     }
+    RecordSpan();
   }
   if (!Error.empty())
     return ErrorOr<bool>::makeError(Error);
   return true;
+}
+
+ErrorOr<bool>
+ltp::applyVerifiedScheduleText(Func &F, int StageIndex, const std::string &Text,
+                               const std::vector<int64_t> &OutputExtents) {
+  std::vector<ScheduleSpan> Spans;
+  ErrorOr<bool> Applied = applyScheduleText(F, StageIndex, Text, &Spans);
+  if (!Applied)
+    return Applied;
+  analysis::LegalityReport Report =
+      analysis::verifyStageSchedule(F, StageIndex, OutputExtents);
+  if (!Report.hasErrors())
+    return true;
+  for (const analysis::DirectiveVerdict &V : Report.Verdicts) {
+    if (V.Legal || V.Sev != analysis::Severity::Error)
+      continue;
+    for (const ScheduleSpan &Span : Spans) {
+      if (V.Index >= Span.FirstDirective && V.Index <= Span.LastDirective)
+        return ErrorOr<bool>::makeError(strFormat(
+            "illegal schedule at offset %zu: '%s': %s", Span.Offset,
+            Text.substr(Span.Offset, Span.Length).c_str(), V.Message.c_str()));
+    }
+    // A verdict on a directive applied before this text (or a structural
+    // verdict with no directive index) has no span to quote.
+    return ErrorOr<bool>::makeError("illegal schedule: " + V.Message);
+  }
+  return ErrorOr<bool>::makeError("illegal schedule: " + Report.message());
 }
 
 std::string ltp::validateScheduleNames(const Func &F, int StageIndex) {

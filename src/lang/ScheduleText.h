@@ -24,9 +24,20 @@
 #include "lang/Func.h"
 #include "support/ErrorOr.h"
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ltp {
+
+/// Source region of one textual schedule unit and the directive indices
+/// it produced (a unit like `vectorize(j, 8)` expands to two directives).
+struct ScheduleSpan {
+  size_t Offset = 0;
+  size_t Length = 0;
+  int FirstDirective = 0;
+  int LastDirective = 0;
+};
 
 /// Renders the schedule of stage \p StageIndex (-1 = pure) of \p F,
 /// including a trailing `store_nontemporal;` when the Func is marked.
@@ -36,9 +47,20 @@ std::string printSchedule(const Func &F, int StageIndex);
 /// \p F (on top of any existing directives; callers usually
 /// clearSchedules() first). Returns an error message with the offending
 /// token on malformed input; on error the stage may be partially
-/// scheduled.
+/// scheduled. When \p Spans is non-null it receives one entry per parsed
+/// unit, mapping source offsets to directive indices.
 ErrorOr<bool> applyScheduleText(Func &F, int StageIndex,
-                                const std::string &Text);
+                                const std::string &Text,
+                                std::vector<ScheduleSpan> *Spans = nullptr);
+
+/// Parses and applies \p Text like applyScheduleText, then runs the
+/// static legality verifier over the stage realized at \p OutputExtents.
+/// Illegal schedules are rejected with a diagnostic quoting the offending
+/// source span; the Func is left with the (illegal) schedule applied, so
+/// callers should clearSchedules() before retrying.
+ErrorOr<bool> applyVerifiedScheduleText(Func &F, int StageIndex,
+                                        const std::string &Text,
+                                        const std::vector<int64_t> &OutputExtents);
 
 /// Checks the stage's accumulated directives against the loop-name
 /// universe (the stage's variables plus names introduced by its own

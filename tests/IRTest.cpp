@@ -125,7 +125,8 @@ TEST(MutatorTest, SubstituteInLoopBounds) {
   StmtPtr Loop = For::make("x", IntImm::make(0), VarRef::make("n"),
                            ForKind::Serial, Body);
   std::map<std::string, ExprPtr> Map = {{"n", IntImm::make(12)}};
-  const For *F = stmtDynAs<For>(substitute(Loop, Map));
+  StmtPtr Result = substitute(Loop, Map);
+  const For *F = stmtDynAs<For>(Result);
   ASSERT_NE(F, nullptr);
   EXPECT_TRUE(isConstInt(F->Extent, 12));
 }

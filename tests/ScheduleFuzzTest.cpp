@@ -2,11 +2,14 @@
 //
 // Part of the LTP project (CGO'18 prefetch-aware loop transformations).
 //
-// Property test: ANY legal combination of scheduling directives must
+// Property test: ANY schedule the static legality verifier accepts must
 // compute the same values as the unscheduled definition. Each seed draws
 // random splits (including non-dividing factors), a random loop order and
-// random vectorize/unroll marks, then checks the interpreter's result
-// against the reference oracle.
+// random vectorize/unroll/parallel marks — legality-blind — then asks the
+// verifier for a verdict. Verifier-rejected draws are skipped (lowering
+// would refuse them); verifier-accepted draws must execute correctly,
+// which is the agreement the sweep asserts between the verifier and the
+// VM-vs-reference differential.
 //
 // The seed count is overridable with LTP_FUZZ_SEEDS (default 24): the
 // per-seed tests pick it up when the binary is (re)discovered or run
@@ -17,6 +20,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Legality.h"
 #include "benchmarks/PipelineRunner.h"
 #include "core/AccessInfo.h"
 
@@ -24,6 +28,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <random>
@@ -95,12 +100,24 @@ void applyRandomSchedule(Func &F, const std::vector<int64_t> &Extents,
     Order.push_back(Name);
   S.reorder(Order);
 
-  // Random marks on distinct loops (vectorize/unroll are semantically
-  // no-ops for the interpreter but must not perturb lowering).
+  // Random marks on distinct loops, drawn legality-blind: the callers
+  // precheck the schedule with the static verifier and skip rejected
+  // draws (a vectorize or parallel mark may land on a loop carrying a
+  // reduction dependence).
   if (Rand(0, 1))
     S.vectorize(Leaves.front());
   if (Leaves.size() > 1 && Rand(0, 1))
     S.unroll(Leaves[1]);
+  if (Rand(0, 1))
+    S.parallel(Leaves[static_cast<size_t>(
+        Rand(0, static_cast<int>(Leaves.size()) - 1))]);
+}
+
+/// The static verifier's verdict on the compute stage's current schedule.
+bool verifierAccepts(const Func &F, const std::vector<int64_t> &Extents) {
+  int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+  return !analysis::verifyStageSchedule(F, ComputeStage, Extents)
+              .hasErrors();
 }
 
 /// The four fuzzed kernels: name, problem size (deliberately not powers
@@ -142,12 +159,17 @@ void expectEnginesMatch(const BufferRef &VM, const BufferRef &Ref,
       << Context;
 }
 
-/// Applies the same random schedule to two fresh instances of \p Kernel
-/// and runs one on the VM and one on the reference walker; both must
-/// verify against the oracle and agree with each other.
-void runDifferential(const FuzzKernel &Kernel, int Seed) {
+/// Applies the same random schedule to two fresh instances of \p Kernel,
+/// asks the verifier for a verdict and — when accepted — runs one
+/// instance on the VM (threaded, exercising verified-race-free parallel
+/// marks) and one on the reference walker; both must verify against the
+/// oracle and agree with each other. Returns true when the seed executed,
+/// false when the verifier rejected the draw.
+bool runDifferential(const FuzzKernel &Kernel, int Seed) {
   const BenchmarkDef *Def = findBenchmark(Kernel.Name);
-  ASSERT_NE(Def, nullptr) << Kernel.Name;
+  EXPECT_NE(Def, nullptr) << Kernel.Name;
+  if (!Def)
+    return false;
   BenchmarkInstance OnVM = Def->Create(Kernel.Size);
   BenchmarkInstance OnRef = Def->Create(Kernel.Size);
   uint32_t Mix =
@@ -155,7 +177,9 @@ void runDifferential(const FuzzKernel &Kernel, int Seed) {
   std::mt19937 RngA(Mix), RngB(Mix);
   applyRandomSchedule(OnVM.Stages[0], OnVM.StageExtents[0], RngA);
   applyRandomSchedule(OnRef.Stages[0], OnRef.StageExtents[0], RngB);
-  runInterpreted(OnVM, /*RunParallel=*/false, InterpEngine::VM);
+  if (!verifierAccepts(OnVM.Stages[0], OnVM.StageExtents[0]))
+    return false;
+  runInterpreted(OnVM, /*RunParallel=*/true, InterpEngine::VM);
   runInterpreted(OnRef, /*RunParallel=*/false, InterpEngine::Reference);
   std::string Context =
       std::string(Kernel.Name) + " seed " + std::to_string(Seed);
@@ -163,44 +187,40 @@ void runDifferential(const FuzzKernel &Kernel, int Seed) {
   EXPECT_TRUE(verifyOutput(OnRef)) << Context << " (reference)";
   expectEnginesMatch(OnVM.Buffers.at(OnVM.OutputName),
                      OnRef.Buffers.at(OnRef.OutputName), Context);
+  return true;
 }
 
 class FuzzSeeds : public ::testing::TestWithParam<int> {};
 
-TEST_P(FuzzSeeds, MatmulAnyScheduleIsCorrect) {
-  std::mt19937 Rng(static_cast<uint32_t>(GetParam()));
-  const BenchmarkDef *Def = findBenchmark("matmul");
-  BenchmarkInstance Instance = Def->Create(26); // not a power of two
+/// Per-seed body shared by the four kernels: draw, ask the verifier,
+/// skip rejected draws (lowering refuses them), execute accepted ones.
+void runSeed(const char *Name, int64_t Size, uint32_t Mix) {
+  std::mt19937 Rng(Mix);
+  const BenchmarkDef *Def = findBenchmark(Name);
+  ASSERT_NE(Def, nullptr) << Name;
+  BenchmarkInstance Instance = Def->Create(Size);
   applyRandomSchedule(Instance.Stages[0], Instance.StageExtents[0], Rng);
+  if (!verifierAccepts(Instance.Stages[0], Instance.StageExtents[0]))
+    GTEST_SKIP() << "schedule rejected by the legality verifier";
   runInterpreted(Instance);
-  EXPECT_TRUE(verifyOutput(Instance)) << "seed " << GetParam();
+  EXPECT_TRUE(verifyOutput(Instance)) << Name << " mix " << Mix;
+}
+
+TEST_P(FuzzSeeds, MatmulAnyScheduleIsCorrect) {
+  runSeed("matmul", 26, // not a power of two
+          static_cast<uint32_t>(GetParam()));
 }
 
 TEST_P(FuzzSeeds, TrmmPredicatedScheduleIsCorrect) {
-  std::mt19937 Rng(static_cast<uint32_t>(GetParam()) * 7919u);
-  const BenchmarkDef *Def = findBenchmark("trmm");
-  BenchmarkInstance Instance = Def->Create(21);
-  applyRandomSchedule(Instance.Stages[0], Instance.StageExtents[0], Rng);
-  runInterpreted(Instance);
-  EXPECT_TRUE(verifyOutput(Instance)) << "seed " << GetParam();
+  runSeed("trmm", 21, static_cast<uint32_t>(GetParam()) * 7919u);
 }
 
 TEST_P(FuzzSeeds, TransposeMaskAnyScheduleIsCorrect) {
-  std::mt19937 Rng(static_cast<uint32_t>(GetParam()) * 104729u);
-  const BenchmarkDef *Def = findBenchmark("tpm");
-  BenchmarkInstance Instance = Def->Create(33);
-  applyRandomSchedule(Instance.Stages[0], Instance.StageExtents[0], Rng);
-  runInterpreted(Instance);
-  EXPECT_TRUE(verifyOutput(Instance)) << "seed " << GetParam();
+  runSeed("tpm", 33, static_cast<uint32_t>(GetParam()) * 104729u);
 }
 
 TEST_P(FuzzSeeds, ConvLayerAnyScheduleIsCorrect) {
-  std::mt19937 Rng(static_cast<uint32_t>(GetParam()) * 31u + 5u);
-  const BenchmarkDef *Def = findBenchmark("convlayer");
-  BenchmarkInstance Instance = Def->Create(12);
-  applyRandomSchedule(Instance.Stages[0], Instance.StageExtents[0], Rng);
-  runInterpreted(Instance);
-  EXPECT_TRUE(verifyOutput(Instance)) << "seed " << GetParam();
+  runSeed("convlayer", 12, static_cast<uint32_t>(GetParam()) * 31u + 5u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
@@ -208,15 +228,29 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
 
 // The differential oracle: every seed, every kernel, both engines. A
 // plain TEST (not TEST_P) so the LTP_FUZZ_SEEDS override takes effect at
-// run time under ctest, whose test list is fixed at discovery time.
+// run time under ctest, whose test list is fixed at discovery time. The
+// sweep also tallies the verifier's verdicts and fails if every draw was
+// rejected — the one-sided agreement check (verifier-accepted implies
+// correct execution) is vacuous without executed seeds.
 TEST(FuzzSweep, DifferentialVMvsReference) {
   const int Seeds = fuzzSeedCount();
+  int Executed = 0;
+  int Rejected = 0;
   for (int Seed = 0; Seed != Seeds; ++Seed)
     for (const FuzzKernel &Kernel : FuzzKernels) {
-      runDifferential(Kernel, Seed);
+      if (runDifferential(Kernel, Seed))
+        ++Executed;
+      else
+        ++Rejected;
       if (::testing::Test::HasFatalFailure())
         return;
     }
+  std::printf("[fuzz] %d schedules executed, %d rejected by the "
+              "verifier\n",
+              Executed, Rejected);
+  EXPECT_GT(Executed, 0)
+      << "the verifier rejected every drawn schedule; it is either "
+         "over-conservative or the draw space collapsed";
 }
 
 } // namespace

@@ -10,7 +10,7 @@
 // Usage:
 //   ltp-opt <benchmark> [--arch 5930k|6700|a15|host] [--size N]
 //           [--schedule "<directives>"] [--emit-c] [--simulate]
-//           [--no-nti] [--run]
+//           [--no-nti] [--run] [--verify]
 //
 // Examples:
 //   ltp-opt matmul --size 2048 --arch 5930k
@@ -20,6 +20,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Legality.h"
 #include "arch/ArchFile.h"
 #include "benchmarks/PipelineRunner.h"
 #include "core/Optimizer.h"
@@ -55,7 +56,9 @@ void printUsage() {
       "  --simulate                   run the cache simulator and report "
       "misses\n"
       "  --no-nti                     disable non-temporal stores\n"
-      "  --run                        JIT-compile and time the pipeline\n");
+      "  --run                        JIT-compile and time the pipeline\n"
+      "  --verify                     print each stage's dependence graph "
+      "and per-directive legality verdicts\n");
 }
 
 ArchParams pickArch(const std::string &Name) {
@@ -106,15 +109,11 @@ int main(int Argc, char **Argv) {
     Func &F = Instance.Stages.back();
     F.clearSchedules();
     int Stage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
-    auto R = applyScheduleText(F, Stage, Args.getString("schedule", ""));
+    auto R = applyVerifiedScheduleText(F, Stage, Args.getString("schedule", ""),
+                                       Instance.StageExtents.back());
     if (!R) {
       std::fprintf(stderr, "error: bad schedule: %s\n",
                    R.getError().c_str());
-      return 1;
-    }
-    std::string NameDiag = validateScheduleNames(F, Stage);
-    if (!NameDiag.empty()) {
-      std::fprintf(stderr, "error: bad schedule: %s\n", NameDiag.c_str());
       return 1;
     }
     std::printf("schedule (user): %s\n\n",
@@ -136,6 +135,37 @@ int main(int Argc, char **Argv) {
                   printSchedule(Instance.Stages[S], Stage).c_str());
     }
     std::printf("\n");
+  }
+
+  if (Args.has("verify")) {
+    bool AnyErrors = false;
+    for (size_t S = 0; S != Instance.Stages.size(); ++S) {
+      const Func &F = Instance.Stages[S];
+      int Stage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+      analysis::LegalityReport Report = analysis::verifyStageSchedule(
+          F, Stage, Instance.StageExtents[S]);
+      std::printf("verify stage %zu (%s):\n%s", S, F.name().c_str(),
+                  Report.Graph.print().c_str());
+      if (Report.Verdicts.empty())
+        std::printf("  (no directives)\n");
+      for (const analysis::DirectiveVerdict &V : Report.Verdicts) {
+        if (V.Legal)
+          std::printf("  %-32s legal\n", V.Directive.c_str());
+        else
+          std::printf("  %-32s %s: %s\n", V.Directive.c_str(),
+                      V.Sev == analysis::Severity::Error ? "ILLEGAL"
+                                                         : "warning",
+                      V.Message.c_str());
+      }
+      std::printf("\n");
+      AnyErrors |= Report.hasErrors();
+    }
+    // User schedules were rejected before this point, so errors here mean
+    // the optimizer itself produced an illegal schedule.
+    if (AnyErrors) {
+      std::fprintf(stderr, "error: schedule failed verification\n");
+      return 1;
+    }
   }
 
   std::printf("lowered loop nest (final stage):\n%s\n",
