@@ -3,11 +3,16 @@
 #include "bench/Harness.h"
 
 #include "core/TemporalOptimizer.h"
+#include "obs/Telemetry.h"
 #include "support/Format.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 using namespace ltp;
 using namespace ltp::bench;
@@ -121,17 +126,184 @@ double ltp::bench::timePipeline(const BenchmarkInstance &Instance,
 double ltp::bench::timeCompiled(const CompiledPipeline &Pipeline,
                                 const BenchmarkInstance &Instance,
                                 int Runs) {
-  Pipeline.run(Instance);
-  return timeBestOf(static_cast<unsigned>(Runs),
-                    [&] { Pipeline.run(Instance); });
+  return timeCompiledStats(Pipeline, Instance, Runs).BestSeconds;
+}
+
+TimingStats ltp::bench::timeCompiledStats(const CompiledPipeline &Pipeline,
+                                          const BenchmarkInstance &Instance,
+                                          int Runs) {
+  Pipeline.run(Instance); // warm-up
+  std::vector<double> Samples;
+  Samples.reserve(static_cast<size_t>(std::max(1, Runs)));
+  for (int I = 0; I != std::max(1, Runs); ++I) {
+    Timer T;
+    Pipeline.run(Instance);
+    Samples.push_back(T.elapsedSeconds());
+  }
+
+  TimingStats Stats;
+  Stats.Runs = static_cast<int>(Samples.size());
+  Stats.BestSeconds = *std::min_element(Samples.begin(), Samples.end());
+  std::vector<double> Sorted = Samples;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t N = Sorted.size();
+  Stats.MedianSeconds = N % 2 ? Sorted[N / 2]
+                              : 0.5 * (Sorted[N / 2 - 1] + Sorted[N / 2]);
+  double Mean = 0.0;
+  for (double S : Samples)
+    Mean += S;
+  Mean /= static_cast<double>(N);
+  double Var = 0.0;
+  for (double S : Samples)
+    Var += (S - Mean) * (S - Mean);
+  // Population stddev: a bench row is the whole run set, not a sample.
+  Stats.StddevSeconds = std::sqrt(Var / static_cast<double>(N));
+  return Stats;
+}
+
+std::string ltp::bench::formatMillis(double Seconds) {
+  return Seconds < 0.0 ? "n/a" : strFormat("%.3f", Seconds * 1e3);
 }
 
 void ltp::bench::printJITStats(const JITCompiler &Compiler) {
+  // The values come from the shared telemetry registry (kept in lockstep
+  // with the compiler's own members); the line format is a CI contract —
+  // the cold/warm disk-cache smoke greps `cc invocations : N`.
   std::printf("JIT stats        : cc invocations : %d | memo hits : %d | "
               "disk hits : %d\n",
-              Compiler.compileCount(), Compiler.cacheHitCount(),
-              Compiler.diskHitCount());
+              static_cast<int>(obs::counter("jit.cc_invocations").value()),
+              static_cast<int>(obs::counter("jit.memo_hits").value()),
+              static_cast<int>(obs::counter("jit.disk_hits").value()));
   std::printf("kernel cache     : %s\n", Compiler.cacheDir().c_str());
+}
+
+namespace {
+
+/// State behind --trace-json/--json, flushed from an atexit handler so
+/// every bench exit path (including early returns) writes its outputs.
+struct TelemetryState {
+  std::string TracePath;
+  std::string ReportPath;
+  std::string BenchName;
+  std::vector<std::string> Rows;
+  bool AtExitRegistered = false;
+};
+
+TelemetryState &telemetryState() {
+  static TelemetryState *State = new TelemetryState;
+  return *State;
+}
+
+std::string escapeJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += strFormat("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+void flushTelemetry() {
+  TelemetryState &State = telemetryState();
+  if (!State.TracePath.empty()) {
+    std::string Error;
+    if (obs::writeTrace(State.TracePath, &Error))
+      std::fprintf(stderr, "trace written: %s (%zu events)\n",
+                   State.TracePath.c_str(), obs::traceEventCount());
+    else
+      std::fprintf(stderr, "warning: cannot write trace %s: %s\n",
+                   State.TracePath.c_str(), Error.c_str());
+  }
+  if (State.ReportPath.empty())
+    return;
+  std::ofstream Out(State.ReportPath);
+  Out << "{\n  \"bench\": \"" << escapeJson(State.BenchName) << "\",\n";
+  Out << "  \"results\": [";
+  for (size_t I = 0; I != State.Rows.size(); ++I)
+    Out << (I ? ",\n    " : "\n    ") << State.Rows[I];
+  Out << (State.Rows.empty() ? "]" : "\n  ]") << ",\n  \"counters\": {";
+  std::vector<std::pair<std::string, int64_t>> Counters =
+      obs::counterSnapshot();
+  for (size_t I = 0; I != Counters.size(); ++I)
+    Out << (I ? ",\n    " : "\n    ") << '"'
+        << escapeJson(Counters[I].first) << "\": " << Counters[I].second;
+  Out << (Counters.empty() ? "}" : "\n  }") << "\n}\n";
+  Out.flush();
+  if (!Out.good())
+    std::fprintf(stderr, "warning: cannot write bench report %s\n",
+                 State.ReportPath.c_str());
+}
+
+} // namespace
+
+void ltp::bench::setupTelemetry(const ArgParse &Args,
+                                const std::string &BenchName) {
+  TelemetryState &State = telemetryState();
+  State.BenchName = BenchName;
+  if (Args.has("trace-json")) {
+    State.TracePath = Args.getString("trace-json", "trace.json");
+    if (State.TracePath.empty())
+      State.TracePath = "trace.json";
+    obs::setTracingEnabled(true);
+  }
+  if (Args.has("json")) {
+    State.ReportPath = Args.getString("json", "");
+    if (State.ReportPath.empty())
+      State.ReportPath = "BENCH_" + BenchName + ".json";
+  }
+  if ((!State.TracePath.empty() || !State.ReportPath.empty()) &&
+      !State.AtExitRegistered) {
+    State.AtExitRegistered = true;
+    std::atexit(flushTelemetry);
+  }
+}
+
+void ltp::bench::reportResult(const std::string &Bench,
+                              const std::string &Config,
+                              const TimingStats &Stats,
+                              const std::string &ExtraJson) {
+  TelemetryState &State = telemetryState();
+  if (State.ReportPath.empty())
+    return;
+  std::string Row = strFormat(
+      "{\"bench\": \"%s\", \"config\": \"%s\", \"best_s\": %.9g, "
+      "\"median_s\": %.9g, \"stddev_s\": %.9g, \"runs\": %d",
+      escapeJson(Bench).c_str(), escapeJson(Config).c_str(),
+      Stats.BestSeconds, Stats.MedianSeconds, Stats.StddevSeconds,
+      Stats.Runs);
+  if (!ExtraJson.empty())
+    Row += ", " + ExtraJson;
+  Row += "}";
+  State.Rows.push_back(std::move(Row));
+}
+
+void ltp::bench::printTelemetryFooter() {
+  std::vector<std::pair<std::string, int64_t>> Counters =
+      obs::counterSnapshot();
+  if (Counters.empty())
+    return;
+  std::printf("telemetry        :");
+  for (const auto &[Name, Value] : Counters)
+    std::printf(" %s=%lld", Name.c_str(), static_cast<long long>(Value));
+  std::printf("\n");
 }
 
 int64_t ltp::bench::problemSize(const BenchmarkDef &Def,

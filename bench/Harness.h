@@ -62,10 +62,49 @@ double timePipeline(const BenchmarkInstance &Instance,
                     JITCompiler &Compiler, int Runs,
                     bool EnableNonTemporalCodegen = true);
 
+/// Statistics over the timed runs of one configuration. Best-of remains
+/// the headline estimator (noise-robust for memory-bound kernels); the
+/// median and standard deviation expose run-to-run spread.
+struct TimingStats {
+  double BestSeconds = -1.0;
+  double MedianSeconds = -1.0;
+  double StddevSeconds = -1.0;
+  int Runs = 0;
+};
+
 /// Times an already-compiled pipeline (one warm-up run, then the best of
 /// \p Runs).
 double timeCompiled(const CompiledPipeline &Pipeline,
                     const BenchmarkInstance &Instance, int Runs);
+
+/// Like timeCompiled, but keeps every run: one warm-up, then \p Runs
+/// timed runs summarized as best/median/stddev.
+TimingStats timeCompiledStats(const CompiledPipeline &Pipeline,
+                              const BenchmarkInstance &Instance, int Runs);
+
+/// Formats a seconds value as milliseconds for table cells ("n/a" when
+/// negative).
+std::string formatMillis(double Seconds);
+
+/// Handles the shared telemetry flags once per bench binary, right after
+/// argument parsing: `--trace-json=FILE` (or the LTP_TRACE environment
+/// toggle) enables span collection and writes a Chrome-trace JSON on
+/// exit; `--json[=FILE]` writes a machine-readable BENCH_<name>.json
+/// report of every reportResult() row on exit (default file name
+/// BENCH_<name>.json in the working directory).
+void setupTelemetry(const ArgParse &Args, const std::string &BenchName);
+
+/// Adds one row to the machine-readable report (no-op without --json).
+/// \p ExtraJson, when non-empty, is a raw JSON fragment of additional
+/// fields, e.g. "\"throughput\":1.5" (no leading comma).
+void reportResult(const std::string &Bench, const std::string &Config,
+                  const TimingStats &Stats,
+                  const std::string &ExtraJson = "");
+
+/// Prints every registered telemetry counter as a single footer block.
+/// Counters are process-wide; the footer is the one consistent place
+/// benches report JIT / simulator / optimizer activity.
+void printTelemetryFooter();
 
 /// Prints the JIT activity footer: actual cc invocations, in-process
 /// memo hits and on-disk cache hits. A warm rerun of a deterministic

@@ -54,6 +54,7 @@ std::vector<Variant> variants() {
 
 int main(int Argc, char **Argv) {
   ArgParse Args(Argc, Argv);
+  setupTelemetry(Args, "ablation_model");
   ArchParams Arch = Args.getString("arch", "5930k") == "6700"
                         ? intelI7_6700()
                         : intelI7_5930K();

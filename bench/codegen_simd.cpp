@@ -142,6 +142,7 @@ int64_t smallSize(const std::string &Name) {
 
 int main(int Argc, char **Argv) {
   ArgParse Args(Argc, Argv);
+  setupTelemetry(Args, "codegen_simd");
   ArchParams Arch = detectHost();
   printHeader("codegen_simd: explicit SIMD + register tiling vs "
               "pragma-only codegen",
@@ -207,5 +208,6 @@ int main(int Argc, char **Argv) {
   }
   std::printf("\n");
   printJITStats(Compiler);
+  printTelemetryFooter();
   return 0;
 }

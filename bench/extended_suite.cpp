@@ -21,6 +21,7 @@ using namespace ltp::bench;
 
 int main(int Argc, char **Argv) {
   ArgParse Args(Argc, Argv);
+  setupTelemetry(Args, "extended_suite");
   ArchParams Arch = Args.getString("arch", "5930k") == "6700"
                         ? intelI7_6700()
                         : intelI7_5930K();

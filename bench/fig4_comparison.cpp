@@ -41,6 +41,7 @@ int main(int Argc, char **Argv) {
   ArchParams Arch = Args.getString("arch", "5930k") == "6700"
                         ? intelI7_6700()
                         : intelI7_5930K();
+  setupTelemetry(Args, "fig4");
   printHeader("Figure 4: relative throughput vs fastest", Arch);
 
   const std::vector<Scheduler> Schedulers = {
@@ -56,8 +57,8 @@ int main(int Argc, char **Argv) {
 
   JITCompiler Compiler;
   AutotuneOutcome TunerTotals;
-  std::vector<int> Widths = {10, 15, 12, 10, 10, 40};
-  printRow({"benchmark", "scheduler", "time(ms)", "rel-tput",
+  std::vector<int> Widths = {10, 15, 12, 14, 10, 10, 40};
+  printRow({"benchmark", "scheduler", "best(ms)", "median(sd)", "rel-tput",
             Sim ? "sim-cyc" : "", "schedule"},
            Widths);
 
@@ -69,7 +70,7 @@ int main(int Argc, char **Argv) {
     struct Row {
       Scheduler S;
       BenchmarkInstance Instance;
-      double Seconds = -1.0;
+      TimingStats Stats;
       double SimCycles = -1.0;
       std::string Description;
       bool Applicable = true;
@@ -80,7 +81,9 @@ int main(int Argc, char **Argv) {
     // before compile jobs are made — the jobs point at the instances'
     // buffer maps.
     for (Scheduler S : Schedulers) {
-      Row R{S, Def.Create(Size)};
+      Row R;
+      R.S = S;
+      R.Instance = Def.Create(Size);
       AutotuneOutcome Outcome;
       R.Description = applyScheduler(R.Instance, S, Arch, &Compiler,
                                      Budget, {}, Candidates, &Outcome);
@@ -115,8 +118,8 @@ int main(int Argc, char **Argv) {
                        Compiled[J].getError().c_str());
           continue;
         }
-        Rows[JobRows[J]].Seconds =
-            timeCompiled(*Compiled[J], Rows[JobRows[J]].Instance, Runs);
+        Rows[JobRows[J]].Stats =
+            timeCompiledStats(*Compiled[J], Rows[JobRows[J]].Instance, Runs);
       }
     }
 
@@ -143,29 +146,40 @@ int main(int Argc, char **Argv) {
 
     double BestSeconds = -1.0;
     for (const Row &R : Rows)
-      if (R.Applicable && R.Seconds > 0.0 &&
-          (BestSeconds < 0.0 || R.Seconds < BestSeconds))
-        BestSeconds = R.Seconds;
+      if (R.Applicable && R.Stats.BestSeconds > 0.0 &&
+          (BestSeconds < 0.0 || R.Stats.BestSeconds < BestSeconds))
+        BestSeconds = R.Stats.BestSeconds;
 
     for (const Row &R : Rows) {
       if (!R.Applicable) {
-        printRow({Def.Name, schedulerName(R.S), "-", "-", Sim ? "-" : "",
-                  "(NTI not applicable)"},
+        printRow({Def.Name, schedulerName(R.S), "-", "-", "-",
+                  Sim ? "-" : "", "(NTI not applicable)"},
                  Widths);
         continue;
       }
+      double Seconds = R.Stats.BestSeconds;
       std::string TimeText =
-          R.Seconds > 0.0 ? strFormat("%.2f", R.Seconds * 1e3) : "n/a";
+          Seconds > 0.0 ? strFormat("%.2f", Seconds * 1e3) : "n/a";
+      std::string SpreadText =
+          Seconds > 0.0
+              ? strFormat("%.2f (%.2f)", R.Stats.MedianSeconds * 1e3,
+                          R.Stats.StddevSeconds * 1e3)
+              : "n/a";
       std::string RelText =
-          R.Seconds > 0.0 && BestSeconds > 0.0
-              ? strFormat("%.3f", BestSeconds / R.Seconds)
+          Seconds > 0.0 && BestSeconds > 0.0
+              ? strFormat("%.3f", BestSeconds / Seconds)
               : "n/a";
       std::string SimText =
           Sim ? (R.SimCycles > 0.0 ? strFormat("%.3g", R.SimCycles) : "n/a")
               : "";
-      printRow({Def.Name, schedulerName(R.S), TimeText, RelText, SimText,
-                R.Description.substr(0, 60)},
+      printRow({Def.Name, schedulerName(R.S), TimeText, SpreadText, RelText,
+                SimText, R.Description.substr(0, 60)},
                Widths);
+      std::string Extra = strFormat("\"size\": %lld",
+                                    static_cast<long long>(Size));
+      if (Sim && R.SimCycles > 0.0)
+        Extra += strFormat(", \"sim_cycles\": %.9g", R.SimCycles);
+      reportResult(Def.Name, schedulerName(R.S), R.Stats, Extra);
     }
     std::printf("\n");
   }
@@ -174,5 +188,6 @@ int main(int Argc, char **Argv) {
               TunerTotals.CandidatesEvaluated, TunerTotals.CandidatesPruned,
               TunerTotals.CandidatesFailed);
   printJITStats(Compiler);
+  printTelemetryFooter();
   return 0;
 }

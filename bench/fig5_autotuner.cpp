@@ -24,6 +24,7 @@ using namespace ltp::bench;
 
 int main(int Argc, char **Argv) {
   ArgParse Args(Argc, Argv);
+  setupTelemetry(Args, "fig5");
   ArchParams Arch = intelI7_5930K();
   printHeader("Figure 5: autotuner with a long budget vs Proposed+NTI",
               Arch);
@@ -86,5 +87,6 @@ int main(int Argc, char **Argv) {
               TunerTotals.CandidatesEvaluated, TunerTotals.CandidatesPruned,
               TunerTotals.CandidatesFailed);
   printJITStats(Compiler);
+  printTelemetryFooter();
   return 0;
 }

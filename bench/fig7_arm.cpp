@@ -40,6 +40,7 @@ int64_t simSize(const std::string &Name) {
 
 int main(int Argc, char **Argv) {
   ArgParse Args(Argc, Argv);
+  setupTelemetry(Args, "fig7");
   ArchParams Arch = armCortexA15();
   // Trace-driven simulation cannot afford paper-sized problems, so the
   // cache sizes shrink with the problem (default 1:8) to preserve the

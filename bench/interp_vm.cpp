@@ -59,6 +59,7 @@ int64_t benchSize(const std::string &Name, double Scale) {
 
 int main(int Argc, char **Argv) {
   ArgParse Args(Argc, Argv);
+  setupTelemetry(Args, "interp_vm");
   ArchParams Arch = detectHost();
   printHeader("interp_vm: bytecode VM vs tree-walking reference vs JIT",
               Arch);
@@ -140,6 +141,7 @@ int main(int Argc, char **Argv) {
     std::printf("\n");
     printJITStats(Compiler);
   }
+  printTelemetryFooter();
   std::printf("\n%s\n", Json.c_str());
   return 0;
 }

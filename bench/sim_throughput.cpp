@@ -56,6 +56,7 @@ bool statsIdentical(const HierarchyStats &A, const HierarchyStats &B) {
 
 int main(int Argc, char **Argv) {
   ArgParse Args(Argc, Argv);
+  setupTelemetry(Args, "sim_throughput");
   ArchParams Arch = intelI7_6700();
   const int Runs = timedRuns(Args, 3);
   int64_t Size = Args.getInt("size", 96);
@@ -82,7 +83,6 @@ int main(int Argc, char **Argv) {
 
   JITCompiler Compiler;
   std::string Json = "[";
-  std::string EngineFooter;
   for (size_t C = 0; C != Cases.size(); ++C) {
     const Case &K = Cases[C];
     const BenchmarkDef *Def = findBenchmark(K.Benchmark);
@@ -126,9 +126,6 @@ int main(int Argc, char **Argv) {
               strFormat("%.1fx", VMSpeedup), Identical ? "yes" : "NO"},
              Widths);
 
-    EngineFooter += strFormat("%s%s=%s", EngineFooter.empty() ? "" : ", ",
-                              K.Name, traceEngineName(Fast.Engine));
-
     Json += strFormat(
         "%s{\"kernel\":\"%s\",\"accesses\":%llu,\"fast_path\":%s,"
         "\"fast_engine\":\"%s\",\"interp_engine\":\"%s\","
@@ -144,10 +141,10 @@ int main(int Argc, char **Argv) {
         Identical ? "true" : "false");
   }
   Json += "]";
-  // Which engine each kernel's Auto/Compiled run actually took (the
-  // fallback chain is invisible in the rates alone).
-  std::printf("\ntrace engines (forced runs use vm/reference): %s\n",
-              EngineFooter.c_str());
+  // Engine selection now lands in the registry (sim.engine.* counters);
+  // the per-kernel engines remain in the JSON blob below.
+  std::printf("\n");
+  printTelemetryFooter();
   std::printf("\n%s\n", Json.c_str());
   return 0;
 }

@@ -44,6 +44,7 @@ const std::map<std::string, PaperTimes> &paperTimes() {
 
 int main(int Argc, char **Argv) {
   ArgParse Args(Argc, Argv);
+  setupTelemetry(Args, "table4");
   bool Is6700 = Args.getString("arch", "5930k") == "6700";
   ArchParams Arch = Is6700 ? intelI7_6700() : intelI7_5930K();
   printHeader("Table 4: best execution time per benchmark", Arch);

@@ -36,6 +36,7 @@ const std::map<std::string, double> &paperRuntimesSeconds() {
 
 int main(int Argc, char **Argv) {
   ArgParse Args(Argc, Argv);
+  setupTelemetry(Args, "table5");
   ArchParams Arch = Args.getString("arch", "5930k") == "6700"
                         ? intelI7_6700()
                         : intelI7_5930K();

@@ -22,6 +22,7 @@ using namespace ltp::bench;
 
 int main(int Argc, char **Argv) {
   ArgParse Args(Argc, Argv);
+  setupTelemetry(Args, "table6");
   ArchParams Arch = intelI7_5930K();
   printHeader("Table 6: execution time (ms) per tiling model", Arch);
   if (!jitAvailable()) {
@@ -71,5 +72,6 @@ int main(int Argc, char **Argv) {
     std::printf("\n");
   }
   printJITStats(Compiler);
+  printTelemetryFooter();
   return 0;
 }

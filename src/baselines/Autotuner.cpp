@@ -5,6 +5,7 @@
 #include "analysis/Legality.h"
 #include "benchmarks/PipelineRunner.h"
 #include "core/AccessInfo.h"
+#include "obs/Telemetry.h"
 #include "support/Format.h"
 #include "support/Timer.h"
 
@@ -150,6 +151,10 @@ std::string describeDecision(const PipelineDecision &Decision) {
 AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
                               JITCompiler &Compiler,
                               const AutotuneOptions &Options) {
+  obs::ScopedSpan Span("autotune.search");
+  static obs::Counter &EvaluatedCounter = obs::counter("autotune.evaluated");
+  static obs::Counter &PrunedCounter = obs::counter("autotune.pruned");
+  static obs::Counter &FailedCounter = obs::counter("autotune.failed");
   std::mt19937 Rng(Options.Seed);
   ArchParams Arch = detectHost();
   Timer Budget;
@@ -192,6 +197,7 @@ AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
       }
       if (Illegal) {
         ++Outcome.CandidatesPruned;
+        PrunedCounter.add();
         continue;
       }
       Jobs.push_back(makeCompileJob(Instance));
@@ -204,12 +210,14 @@ AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
     for (size_t B = 0; B != Batch.size(); ++B) {
       if (!Compiled[B]) {
         ++Outcome.CandidatesFailed;
+        FailedCounter.add();
         continue;
       }
       double Seconds = timeBestOf(
           static_cast<unsigned>(std::max(1, Options.RunsPerCandidate)),
           [&] { Compiled[B]->run(Instance); });
       ++Outcome.CandidatesEvaluated;
+      EvaluatedCounter.add();
       if (Outcome.BestSeconds < 0.0 || Seconds < Outcome.BestSeconds) {
         Outcome.BestSeconds = Seconds;
         BestDecision = Batch[B];

@@ -3,9 +3,36 @@
 #include "cachesim/TraceRunner.h"
 
 #include "cachesim/AccessProgram.h"
+#include "obs/Telemetry.h"
 #include "runtime/ThreadPool.h"
+#include "support/Format.h"
 
 using namespace ltp;
+
+namespace {
+
+/// Per-engine run counters feed the shared telemetry footer; benches used
+/// to track engine selection ad hoc.
+void countEngine(TraceEngine Engine, uint64_t Accesses) {
+  static obs::Counter &AP = obs::counter("sim.engine.access_program");
+  static obs::Counter &VM = obs::counter("sim.engine.vm");
+  static obs::Counter &Ref = obs::counter("sim.engine.reference");
+  static obs::Counter &Acc = obs::counter("sim.accesses");
+  switch (Engine) {
+  case TraceEngine::AccessProgram:
+    AP.add();
+    break;
+  case TraceEngine::VM:
+    VM.add();
+    break;
+  case TraceEngine::Reference:
+    Ref.add();
+    break;
+  }
+  Acc.add(static_cast<int64_t>(Accesses));
+}
+
+} // namespace
 
 const char *ltp::traceEngineName(TraceEngine Engine) {
   switch (Engine) {
@@ -23,6 +50,7 @@ SimResult ltp::simulate(const std::vector<ir::StmtPtr> &Stmts,
                         const std::map<std::string, BufferRef> &Buffers,
                         const ArchParams &Arch, const LatencyModel &Latency,
                         SimEngine Engine) {
+  obs::ScopedSpan Span("sim.simulate");
   MemoryHierarchy Hierarchy(Arch);
   SimResult Result;
 
@@ -34,6 +62,11 @@ SimResult ltp::simulate(const std::vector<ir::StmtPtr> &Stmts,
       Result.Engine = TraceEngine::AccessProgram;
       Result.Stats = Hierarchy.stats();
       Result.EstimatedCycles = Hierarchy.estimatedCycles(Latency);
+      countEngine(Result.Engine, Result.Accesses);
+      if (Span.active())
+        Span.setArgs(strFormat(
+            "engine=%s accesses=%llu", traceEngineName(Result.Engine),
+            static_cast<unsigned long long>(Result.Accesses)));
       return Result;
     }
   }
@@ -64,6 +97,11 @@ SimResult ltp::simulate(const std::vector<ir::StmtPtr> &Stmts,
   Result.Stats = Hierarchy.stats();
   Result.EstimatedCycles = Hierarchy.estimatedCycles(Latency);
   Result.Accesses = Accesses;
+  countEngine(Result.Engine, Result.Accesses);
+  if (Span.active())
+    Span.setArgs(strFormat("engine=%s accesses=%llu",
+                           traceEngineName(Result.Engine),
+                           static_cast<unsigned long long>(Result.Accesses)));
   return Result;
 }
 
@@ -77,9 +115,16 @@ SimResult ltp::simulate(const ir::StmtPtr &S,
 
 std::vector<SimResult> ltp::simulateMany(const std::vector<SimJob> &Jobs,
                                          SimEngine Engine) {
+  obs::ScopedSpan Span("sim.simulate_many", [&] {
+    return strFormat("jobs=%zu", Jobs.size());
+  });
   std::vector<SimResult> Results(Jobs.size());
   ThreadPool::global().parallelFor(
       0, static_cast<int64_t>(Jobs.size()), [&](int64_t I) {
+        // Per-job spans make grain-claiming skew visible in the trace.
+        obs::ScopedSpan JobSpan("sim.job", [&] {
+          return strFormat("job=%lld", static_cast<long long>(I));
+        });
         const SimJob &Job = Jobs[static_cast<size_t>(I)];
         Results[static_cast<size_t>(I)] =
             simulate(Job.Stmts, *Job.Buffers, Job.Arch, Job.Latency, Engine);

@@ -3,6 +3,8 @@
 #include "core/Optimizer.h"
 
 #include "analysis/Legality.h"
+#include "obs/Provenance.h"
+#include "obs/Telemetry.h"
 #include "support/Format.h"
 #include "support/Timer.h"
 
@@ -41,11 +43,14 @@ OptimizationResult ltp::optimize(Func &F,
                                  const OptimizerOptions &Options) {
   Timer T;
   OptimizationResult Result;
+  obs::ScopedSpan Span("opt.optimize",
+                       [&] { return "func=" + F.name(); });
 
   F.clearSchedules();
   int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
   StageAccessInfo Info = analyzeStage(F, ComputeStage, OutputExtents);
   Result.Class = classify(Info);
+  obs::beginDecision(F.name(), statementClassName(Result.Class.Kind));
 
   bool WantNTI = Result.Class.UseNonTemporalStores &&
                  Options.EnableNonTemporal && Arch.HasNonTemporalStores;
@@ -111,6 +116,7 @@ OptimizationResult ltp::optimize(Func &F,
   }
 #endif
 
+  obs::endDecision(Result.Description);
   Result.RuntimeMillis = T.elapsedMillis();
   return Result;
 }

@@ -3,6 +3,8 @@
 #include "core/SpatialOptimizer.h"
 
 #include "core/CacheEmu.h"
+#include "obs/Provenance.h"
+#include "obs/Telemetry.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -13,6 +15,7 @@ using namespace ltp;
 SpatialSchedule ltp::optimizeSpatial(const StageAccessInfo &Info,
                                      const Classification &C,
                                      const ArchParams &Arch) {
+  obs::ScopedSpan Span("opt.spatial");
   assert(!C.TransposedInputs.empty() &&
          "spatial optimizer requires a transposed input");
   assert(Info.Loops.size() == 2 &&
@@ -50,6 +53,19 @@ SpatialSchedule ltp::optimizeSpatial(const StageAccessInfo &Info,
                                    C.TransposedInputs.end());
 
   Best.Cost = -1.0;
+  const bool Explain = obs::explainEnabled();
+  static obs::Counter &CandidateCounter = obs::counter("opt.candidates");
+  // Only called under --explain; keeps provenance out of the search path.
+  auto Record = [&](int64_t Tx, int64_t Ty, bool Accepted,
+                    const char *Reason, double Cost) {
+    obs::CandidateRecord R;
+    R.Candidate = strFormat("tile %lldx%lld", static_cast<long long>(Tx),
+                            static_cast<long long>(Ty));
+    R.Cost = Cost;
+    R.Accepted = Accepted;
+    R.Reason = Reason;
+    obs::recordCandidate(std::move(R));
+  };
   // Sweep tile widths (vector-width multiples) and heights bounded by the
   // cache-emulation algorithm against the transposed array's row stride.
   for (int64_t Tx = Lc; Tx <= Bx; Tx *= 2) {
@@ -69,15 +85,23 @@ SpatialSchedule ltp::optimizeSpatial(const StageAccessInfo &Info,
     int64_t MaxTy = emulateMaxTileDim(Emu);
 
     for (int64_t Ty = MaxTy; Ty >= 1; Ty = Ty / 2) {
+      CandidateCounter.add();
       // Working sets, Eqs. 18 and 19.
       int64_t WsL1 = Lc * Tx + Tx;
       int64_t WsL2 = 2 * Tx * Ty;
-      if (WsL1 > L1Elems || WsL2 > L2Elems)
+      if (WsL1 > L1Elems || WsL2 > L2Elems) {
+        if (Explain)
+          Record(Tx, Ty, false,
+                 WsL1 > L1Elems ? "ws-L1 overflow" : "ws-L2 overflow", -1.0);
         continue;
+      }
       // One tile per thread at least (iterations-per-thread >= 1).
       int64_t RowTrips = (By + Ty - 1) / Ty;
-      if (Arch.totalThreads() > 1 && RowTrips < Arch.totalThreads())
+      if (Arch.totalThreads() > 1 && RowTrips < Arch.totalThreads()) {
+        if (Explain)
+          Record(Tx, Ty, false, "parallelism constraint", -1.0);
         continue;
+      }
 
       // Partial costs: Eq. 15 for transposed arrays, Eq. 17 otherwise.
       double Total = 0.0;
@@ -91,7 +115,11 @@ SpatialSchedule ltp::optimizeSpatial(const StageAccessInfo &Info,
                 : (Area / static_cast<double>(Tx)) * PrefetchEfficiency;
         Total += Partial;
       }
-      if (Best.Cost < 0.0 || Total < Best.Cost) {
+      bool Accepted = Best.Cost < 0.0 || Total < Best.Cost;
+      if (Explain)
+        Record(Tx, Ty, Accepted,
+               Accepted ? "best so far" : "cost above best", Total);
+      if (Accepted) {
         Best.Cost = Total;
         Best.TileWidth = Tx;
         Best.TileHeight = Ty;

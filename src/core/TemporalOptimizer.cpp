@@ -3,6 +3,8 @@
 #include "core/TemporalOptimizer.h"
 
 #include "core/CacheEmu.h"
+#include "obs/Provenance.h"
+#include "obs/Telemetry.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -73,6 +75,7 @@ void forEachPermutation(std::vector<std::string> Items,
 TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
                                        const ArchParams &Arch,
                                        const TemporalOptions &Options) {
+  obs::ScopedSpan Span("opt.temporal");
   assert(Info.Loops.size() >= 2 && "temporal optimizer needs a loop nest");
   const std::string Column = Info.outputColumnVar();
   const std::set<std::string> ColumnVars = Info.columnVars();
@@ -115,6 +118,12 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
   TemporalSchedule Best;
   Best.Cost = -1.0;
 
+  // Decision provenance (--explain): one record per candidate visited,
+  // including the reason a candidate was pruned. Kept strictly out of the
+  // search itself so enabling it cannot perturb the chosen schedule.
+  const bool Explain = obs::explainEnabled();
+  static obs::Counter &CandidateCounter = obs::counter("opt.candidates");
+
   // ---- Step 1: tile sizes + reuse pivots. --------------------------------
   // u: outermost intra-tile loop (L1 reuse); v: innermost inter-tile loop
   // (L2 reuse). Ctotal depends on the permutations only through (u, v).
@@ -123,25 +132,33 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
       continue; // the column loop must not be the outermost intra loop
     for (const LoopInfo *V : BigLoops) {
       for (int64_t Tc : ColumnCandidates) {
-        // Algorithm 1 bounds: L1 rows of width Tc, then L2 rows with the
-        // constant-stride prefetcher active.
-        CacheEmuParams EmuL1;
-        EmuL1.Cache = Arch.L1;
-        EmuL1.L1LineBytes = Arch.L1.LineBytes;
-        EmuL1.DTS = Info.DTS;
-        EmuL1.PrevTileElems = Tc;
-        EmuL1.RowStrideElems = Bc;
-        EmuL1.EffectiveWaysDivisor = EffDivL1;
-        EmuL1.MaxRows = MaxExtent;
-        int64_t MaxT1 = emulateMaxTileDim(EmuL1);
+        int64_t MaxT1 = 0;
+        int64_t MaxT2 = 0;
+        {
+          obs::ScopedSpan EmuSpan("opt.cacheemu", [&] {
+            return strFormat("u=%s v=%s tc=%lld", U->Name.c_str(),
+                             V->Name.c_str(), static_cast<long long>(Tc));
+          });
+          // Algorithm 1 bounds: L1 rows of width Tc, then L2 rows with
+          // the constant-stride prefetcher active.
+          CacheEmuParams EmuL1;
+          EmuL1.Cache = Arch.L1;
+          EmuL1.L1LineBytes = Arch.L1.LineBytes;
+          EmuL1.DTS = Info.DTS;
+          EmuL1.PrevTileElems = Tc;
+          EmuL1.RowStrideElems = Bc;
+          EmuL1.EffectiveWaysDivisor = EffDivL1;
+          EmuL1.MaxRows = MaxExtent;
+          MaxT1 = emulateMaxTileDim(EmuL1);
 
-        CacheEmuParams EmuL2 = EmuL1;
-        EmuL2.Cache = Arch.L2;
-        EmuL2.EffectiveWaysDivisor = EffDivL2;
-        EmuL2.L2Pref = Arch.L2PrefetchDegree;
-        EmuL2.L2MaxPref = Arch.L2MaxPrefetchDistance;
-        EmuL2.ForL2 = !Options.NoL2SetHalving;
-        int64_t MaxT2 = emulateMaxTileDim(EmuL2);
+          CacheEmuParams EmuL2 = EmuL1;
+          EmuL2.Cache = Arch.L2;
+          EmuL2.EffectiveWaysDivisor = EffDivL2;
+          EmuL2.L2Pref = Arch.L2PrefetchDegree;
+          EmuL2.L2MaxPref = Arch.L2MaxPrefetchDistance;
+          EmuL2.ForL2 = !Options.NoL2SetHalving;
+          MaxT2 = emulateMaxTileDim(EmuL2);
+        }
 
         // Build per-loop candidate lists.
         std::vector<std::pair<std::string, std::vector<int64_t>>> Choices;
@@ -185,18 +202,44 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
         for (const LoopInfo *Loop : SmallLoops)
           Tiles[Loop->Name] = Loop->Extent;
 
+        // Only called under --explain; the predicted misses are recomputed
+        // here so the record is self-contained even for candidates pruned
+        // before their cost was evaluated.
+        auto Record = [&](bool Accepted, const char *Reason, double Cost) {
+          std::vector<std::string> Parts;
+          for (const auto &[Var, T] : Tiles)
+            Parts.push_back(strFormat("%s=%lld", Var.c_str(),
+                                      static_cast<long long>(T)));
+          obs::CandidateRecord R;
+          R.Candidate = "tiles{" + join(Parts, ", ") + "} u=" + U->Name +
+                        " v=" + V->Name;
+          R.PredL1Misses = estimateL1Misses(Info, Tiles, U->Name);
+          R.PredL2Misses = estimateL2Misses(Info, Tiles, V->Name);
+          R.Cost = Cost;
+          R.Accepted = Accepted;
+          R.Reason = Reason;
+          obs::recordCandidate(std::move(R));
+        };
+
         enumerateTiles(Choices, 0, Tiles, [&] {
+          CandidateCounter.add();
           // Working-set fit: wsL1 is the footprint of one iteration of
           // the outermost intra-tile loop (Eq. 1); wsL2 is the whole
           // tile (Eq. 6) against the prefetch-reduced L2 budget.
           TileMap L1Tiles = Tiles;
           L1Tiles[U->Name] = 1;
           int64_t WsL1 = workingSetElements(Info, L1Tiles);
-          if (WsL1 > L1Elems)
+          if (WsL1 > L1Elems) {
+            if (Explain)
+              Record(false, "ws-L1 overflow", -1.0);
             return;
+          }
           int64_t WsL2 = workingSetElements(Info, Tiles);
-          if (WsL2 > L2Budget)
+          if (WsL2 > L2Budget) {
+            if (Explain)
+              Record(false, "ws-L2 overflow", -1.0);
             return;
+          }
 
           // Eq. 13: the loop we will parallelize must give every thread
           // at least one inter-tile iteration. Nests whose only pure loop
@@ -216,8 +259,11 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
             }
           }
           if (!Options.IgnoreParallelConstraint && TotalThreads > 1 &&
-              HasPureCandidate && BestTrip < TotalThreads)
+              HasPureCandidate && BestTrip < TotalThreads) {
+            if (Explain)
+              Record(false, "parallelism constraint", -1.0);
             return;
+          }
 
           double Cost =
               Options.PrefetchUnawareModel
@@ -227,8 +273,11 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
                                       Info, Tiles, V->Name, Lc)
                   : totalCost(Info, Tiles, U->Name, V->Name, Arch);
           if (Best.Cost >= 0.0) {
-            if (Cost > Best.Cost * (1.0 + 1e-9))
+            if (Cost > Best.Cost * (1.0 + 1e-9)) {
+              if (Explain)
+                Record(false, "cost above best", Cost);
               return;
+            }
             // Near-tie: prefer the larger intra-tile volume — fewer,
             // fatter tiles mean less loop overhead and give the back-end
             // compiler more room to register-block (not captured by the
@@ -239,11 +288,16 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
                 NewVolume *= static_cast<double>(T);
               for (const auto &[Var, T] : Best.Tiles)
                 OldVolume *= static_cast<double>(T);
-              if (NewVolume <= OldVolume)
+              if (NewVolume <= OldVolume) {
+                if (Explain)
+                  Record(false, "near-tie, smaller tile volume", Cost);
                 return;
+              }
             }
           }
 
+          if (Explain)
+            Record(true, "best so far", Cost);
           Best.Cost = Cost;
           Best.Tiles = Tiles;
           Best.MaxT1 = MaxT1;
@@ -295,11 +349,20 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
       Best.VectorVar = Column;
       Best.VectorWidth = Arch.VectorWidth;
     }
+    if (Explain) {
+      obs::CandidateRecord R;
+      R.Candidate = "untiled intra[" + join(Best.IntraOrder, ",") + "]";
+      R.Accepted = true;
+      R.Reason = "no feasible tiling; untiled fallback";
+      obs::recordCandidate(std::move(R));
+    }
     return Best;
   }
 
   const std::string U = Best.IntraOrder.front();
   const std::string V = Best.InterOrder.front();
+
+  obs::ScopedSpan Step2Span("opt.step2");
 
   // ---- Step 2: loop order minimizing Corder (Eq. 12). --------------------
   // Intra order (innermost first): column loop innermost, then the small

@@ -2,6 +2,7 @@
 
 #include "jit/JIT.h"
 
+#include "obs/Telemetry.h"
 #include "runtime/ThreadPool.h"
 #include "support/Format.h"
 
@@ -72,6 +73,22 @@ std::string fnv1aHex(const std::string &Data) {
 bool fileExists(const std::string &Path) {
   struct stat St;
   return ::stat(Path.c_str(), &St) == 0;
+}
+
+/// Registry counters mirroring the per-compiler statistics so every
+/// bench prints one consistent telemetry footer (and traces carry the
+/// totals). Handles are cached; the registry lookup happens once.
+obs::Counter &ccInvocationsCounter() {
+  static obs::Counter &C = obs::counter("jit.cc_invocations");
+  return C;
+}
+obs::Counter &memoHitsCounter() {
+  static obs::Counter &C = obs::counter("jit.memo_hits");
+  return C;
+}
+obs::Counter &diskHitsCounter() {
+  static obs::Counter &C = obs::counter("jit.disk_hits");
+  return C;
 }
 
 } // namespace
@@ -154,6 +171,7 @@ JITCompiler::JITCompiler(std::string CompilerPath)
 std::string JITCompiler::runCompiler(const std::string &Flags,
                                      const std::string &Source,
                                      const std::string &SoPath, int Id) {
+  obs::ScopedSpan Span("jit.cc");
   std::string CPath = WorkDir + strFormat("/mod_%d.c", Id);
   std::string ErrPath = WorkDir + strFormat("/mod_%d.err", Id);
   {
@@ -179,6 +197,7 @@ JITCompiler::Build
 JITCompiler::loadSharedObject(const std::string &SoPath,
                               const std::string &KernelName,
                               bool Persistent) {
+  obs::ScopedSpan Span("jit.load_so");
   Build B;
   void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!Handle) {
@@ -269,6 +288,7 @@ ErrorOr<CompiledKernel>
 JITCompiler::compile(const ir::StmtPtr &S,
                      const std::vector<BufferBinding> &Signature,
                      const CodeGenOptions &Options) {
+  obs::ScopedSpan Span("jit.compile");
   std::string KernelName = "ltp_kernel";
   std::string Source = generateC(S, Signature, KernelName, Options);
   std::string Flags = buildFlags(Options);
@@ -281,6 +301,7 @@ JITCompiler::compile(const ir::StmtPtr &S,
     auto Cached = Cache.find(Key);
     if (Cached != Cache.end()) {
       ++CacheHits;
+      memoHitsCounter().add();
       CompiledKernel Kernel;
       Kernel.Mod = Cached->second;
       Kernel.Signature = Signature;
@@ -299,12 +320,17 @@ JITCompiler::compile(const ir::StmtPtr &S,
     auto [It, Inserted] = Cache.emplace(std::move(Key), B.Mod);
     Mod = It->second;
     if (Inserted) {
-      if (B.RanCompiler)
+      if (B.RanCompiler) {
         ++CompileCount;
-      if (B.DiskHit)
+        ccInvocationsCounter().add();
+      }
+      if (B.DiskHit) {
         ++DiskHits;
+        diskHitsCounter().add();
+      }
     } else {
       ++CacheHits; // a concurrent compile of the same key won the race
+      memoHitsCounter().add();
     }
   }
 
@@ -317,6 +343,7 @@ JITCompiler::compile(const ir::StmtPtr &S,
 
 std::vector<ErrorOr<CompiledKernel>>
 JITCompiler::compileMany(const std::vector<CompileJob> &Jobs) {
+  obs::ScopedSpan Span("jit.compile_many");
   std::string KernelName = "ltp_kernel";
   struct Prep {
     std::string Source;
@@ -347,9 +374,17 @@ JITCompiler::compileMany(const std::vector<CompileJob> &Jobs) {
       }
   }
 
+  if (Span.active())
+    Span.setArgs(strFormat("jobs=%zu cold=%zu", Jobs.size(), Cold.size()));
+
   std::vector<Build> Builds(Cold.size());
   ThreadPool::global().parallelFor(
       0, static_cast<int64_t>(Cold.size()), [&](int64_t I) {
+        // Per-job spans expose the pool's grain-claiming skew: each
+        // build's duration lands on the worker thread that claimed it.
+        obs::ScopedSpan JobSpan("jit.build", [&] {
+          return strFormat("job=%lld", static_cast<long long>(I));
+        });
         const Prep &P = Preps[Cold[static_cast<size_t>(I)]];
         Builds[static_cast<size_t>(I)] =
             buildModule(P.Flags, P.Source, KernelName);
@@ -366,10 +401,14 @@ JITCompiler::compileMany(const std::vector<CompileJob> &Jobs) {
         continue;
       }
       Cache.emplace(Key, B.Mod);
-      if (B.RanCompiler)
+      if (B.RanCompiler) {
         ++CompileCount;
-      if (B.DiskHit)
+        ccInvocationsCounter().add();
+      }
+      if (B.DiskHit) {
         ++DiskHits;
+        diskHitsCounter().add();
+      }
     }
   }
 
@@ -384,8 +423,10 @@ JITCompiler::compileMany(const std::vector<CompileJob> &Jobs) {
     std::lock_guard<std::mutex> Lock(CacheMutex);
     auto It = Cache.find(Preps[I].Key);
     assert(It != Cache.end() && "batch module missing from the cache");
-    if (!ColdSet.count(I))
+    if (!ColdSet.count(I)) {
       ++CacheHits;
+      memoHitsCounter().add();
+    }
     CompiledKernel Kernel;
     Kernel.Mod = It->second;
     Kernel.Signature = Jobs[I].Signature;

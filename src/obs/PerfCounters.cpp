@@ -1,0 +1,148 @@
+//===- PerfCounters.cpp - Linux perf_event hardware counters --------------===//
+
+#include "obs/PerfCounters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+using namespace ltp;
+using namespace ltp::obs;
+
+const char *ltp::obs::perfEventName(PerfEvent E) {
+  switch (E) {
+  case PerfEvent::L1DReadAccess:
+    return "L1D-read-access";
+  case PerfEvent::L1DReadMiss:
+    return "L1D-read-miss";
+  case PerfEvent::LLCReadAccess:
+    return "LLC-read-access";
+  case PerfEvent::LLCReadMiss:
+    return "LLC-read-miss";
+  }
+  return "";
+}
+
+#ifdef __linux__
+
+namespace {
+
+uint64_t cacheConfig(PerfEvent E) {
+  auto Config = [](uint64_t CacheId, uint64_t Result) {
+    return CacheId | (PERF_COUNT_HW_CACHE_OP_READ << 8) | (Result << 16);
+  };
+  switch (E) {
+  case PerfEvent::L1DReadAccess:
+    return Config(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_RESULT_ACCESS);
+  case PerfEvent::L1DReadMiss:
+    return Config(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_RESULT_MISS);
+  case PerfEvent::LLCReadAccess:
+    return Config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_RESULT_ACCESS);
+  case PerfEvent::LLCReadMiss:
+    return Config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_RESULT_MISS);
+  }
+  return 0;
+}
+
+int openEvent(PerfEvent E, std::string *Error) {
+  struct perf_event_attr Attr;
+  std::memset(&Attr, 0, sizeof(Attr));
+  Attr.size = sizeof(Attr);
+  Attr.type = PERF_TYPE_HW_CACHE;
+  Attr.config = cacheConfig(E);
+  Attr.disabled = 0;
+  Attr.inherit = 1; // count pool threads spawned after the open
+  Attr.exclude_kernel = 1;
+  Attr.exclude_hv = 1;
+  int Fd = static_cast<int>(::syscall(SYS_perf_event_open, &Attr,
+                                      /*pid=*/0, /*cpu=*/-1,
+                                      /*group_fd=*/-1, /*flags=*/0UL));
+  if (Fd < 0 && Error && Error->empty())
+    *Error = std::string(perfEventName(E)) + ": " + std::strerror(errno);
+  return Fd;
+}
+
+} // namespace
+
+PerfCounterSet::PerfCounterSet(const std::vector<PerfEvent> &Events)
+    : Events(Events) {
+  Fds.reserve(Events.size());
+  for (PerfEvent E : Events)
+    Fds.push_back(openEvent(E, &Error));
+}
+
+PerfCounterSet::~PerfCounterSet() {
+  for (int Fd : Fds)
+    if (Fd >= 0)
+      ::close(Fd);
+}
+
+bool PerfCounterSet::anyOpen() const {
+  for (int Fd : Fds)
+    if (Fd >= 0)
+      return true;
+  return false;
+}
+
+bool PerfCounterSet::open(size_t Index) const {
+  return Index < Fds.size() && Fds[Index] >= 0;
+}
+
+PerfSnapshot PerfCounterSet::read() const {
+  PerfSnapshot Snapshot;
+  Snapshot.Values.reserve(Fds.size());
+  for (int Fd : Fds) {
+    uint64_t Value = 0;
+    if (Fd >= 0) {
+      // A counting (non-sampling) read returns the parent's count plus
+      // every inherited child's, i.e. the whole thread pool.
+      if (::read(Fd, &Value, sizeof(Value)) != sizeof(Value))
+        Value = 0;
+    }
+    Snapshot.Values.push_back(Value);
+  }
+  return Snapshot;
+}
+
+bool PerfCounterSet::available(std::string *Reason) {
+  std::string Error;
+  int Fd = openEvent(PerfEvent::L1DReadAccess, &Error);
+  if (Fd < 0) {
+    if (Reason)
+      *Reason = Error;
+    return false;
+  }
+  ::close(Fd);
+  return true;
+}
+
+#else // !__linux__
+
+PerfCounterSet::PerfCounterSet(const std::vector<PerfEvent> &Events)
+    : Events(Events), Fds(Events.size(), -1),
+      Error("perf_event_open is Linux-only") {}
+
+PerfCounterSet::~PerfCounterSet() = default;
+
+bool PerfCounterSet::anyOpen() const { return false; }
+
+bool PerfCounterSet::open(size_t) const { return false; }
+
+PerfSnapshot PerfCounterSet::read() const {
+  PerfSnapshot Snapshot;
+  Snapshot.Values.assign(Fds.size(), 0);
+  return Snapshot;
+}
+
+bool PerfCounterSet::available(std::string *Reason) {
+  if (Reason)
+    *Reason = "perf_event_open is Linux-only";
+  return false;
+}
+
+#endif

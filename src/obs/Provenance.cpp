@@ -1,0 +1,71 @@
+//===- Provenance.cpp - optimizer decision-provenance log -----------------===//
+
+#include "obs/Provenance.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+using namespace ltp;
+using namespace ltp::obs;
+
+namespace {
+
+std::atomic<bool> ExplainEnabled{false};
+
+struct DecisionLogState {
+  std::mutex Mutex;
+  std::vector<DecisionRecord> Published;
+};
+
+DecisionLogState &logState() {
+  static DecisionLogState *State = new DecisionLogState();
+  return *State;
+}
+
+/// The decision currently being built on this thread (null when none).
+thread_local std::unique_ptr<DecisionRecord> CurrentDecision;
+
+} // namespace
+
+bool ltp::obs::explainEnabled() {
+  return ExplainEnabled.load(std::memory_order_relaxed);
+}
+
+void ltp::obs::setExplainEnabled(bool Enabled) {
+  ExplainEnabled.store(Enabled, std::memory_order_relaxed);
+}
+
+void ltp::obs::beginDecision(const std::string &Stage,
+                             const std::string &Classification) {
+  if (!explainEnabled())
+    return;
+  CurrentDecision = std::make_unique<DecisionRecord>();
+  CurrentDecision->Stage = Stage;
+  CurrentDecision->Classification = Classification;
+}
+
+void ltp::obs::recordCandidate(CandidateRecord Record) {
+  if (!explainEnabled() || !CurrentDecision)
+    return;
+  CurrentDecision->Candidates.push_back(std::move(Record));
+}
+
+void ltp::obs::endDecision(const std::string &Chosen) {
+  if (!CurrentDecision)
+    return;
+  CurrentDecision->Chosen = Chosen;
+  DecisionLogState &State = logState();
+  std::lock_guard<std::mutex> Lock(State.Mutex);
+  State.Published.push_back(std::move(*CurrentDecision));
+  CurrentDecision.reset();
+}
+
+std::vector<DecisionRecord> ltp::obs::takeDecisions() {
+  DecisionLogState &State = logState();
+  std::lock_guard<std::mutex> Lock(State.Mutex);
+  std::vector<DecisionRecord> Out = std::move(State.Published);
+  State.Published.clear();
+  return Out;
+}

@@ -2,6 +2,9 @@
 
 #include "runtime/ThreadPool.h"
 
+#include "obs/Telemetry.h"
+#include "support/Format.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cassert>
@@ -54,6 +57,10 @@ void ThreadPool::parallelFor(int64_t Min, int64_t Extent,
     return;
   }
 
+  obs::ScopedSpan Span("pool.parallel_for", [&] {
+    return strFormat("extent=%lld", static_cast<long long>(Extent));
+  });
+
   Job TheJob;
   TheJob.Min = Min;
   TheJob.Extent = Extent;
@@ -87,6 +94,11 @@ void ThreadPool::parallelFor(int64_t Min, int64_t Extent,
 }
 
 void ThreadPool::runShare(Job &TheJob) {
+  // One span per participating thread makes grain-claiming skew visible
+  // in the trace: a thread stuck on a long grain shows as a long share
+  // next to its idle peers.
+  obs::ScopedSpan Span("pool.share");
+  int64_t Claimed = 0;
   for (;;) {
     int64_t Begin = TheJob.Next.fetch_add(TheJob.Grain,
                                           std::memory_order_relaxed);
@@ -95,10 +107,16 @@ void ThreadPool::runShare(Job &TheJob) {
     int64_t End = std::min(Begin + TheJob.Grain, TheJob.Extent);
     for (int64_t I = Begin; I != End; ++I)
       (*TheJob.Body)(TheJob.Min + I);
+    Claimed += End - Begin;
     // Completion is still tracked per iteration: the owner's predicate
     // compares Done against Extent.
     TheJob.Done.fetch_add(End - Begin, std::memory_order_acq_rel);
   }
+  if (Span.active())
+    Span.setArgs(strFormat("claimed=%lld of %lld grain=%lld",
+                           static_cast<long long>(Claimed),
+                           static_cast<long long>(TheJob.Extent),
+                           static_cast<long long>(TheJob.Grain)));
 }
 
 void ThreadPool::workerLoop() {

@@ -13,6 +13,8 @@
 #include "core/Optimizer.h"
 #include "ir/IRPrinter.h"
 #include "lang/ScheduleText.h"
+#include "obs/Provenance.h"
+#include "obs/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -61,6 +63,42 @@ TEST(DeterminismTest, GeneratedCIsByteIdentical) {
     return generateC(lowerPipeline(Instance)[0], Signature, "k");
   };
   EXPECT_EQ(Generate(), Generate());
+}
+
+// Telemetry must be strictly read-only with respect to the search:
+// enabling span tracing and the --explain decision log cannot change
+// what the optimizer produces.
+TEST(DeterminismTest, TracingDoesNotPerturbOptimizer) {
+  auto Optimize = [] {
+    std::string Out;
+    for (const char *Name : {"matmul", "tpm", "gemver"}) {
+      const BenchmarkDef *Def = findBenchmark(Name);
+      BenchmarkInstance Instance = Def->Create(128);
+      for (size_t S = 0; S != Instance.Stages.size(); ++S) {
+        OptimizationResult R = optimize(
+            Instance.Stages[S], Instance.StageExtents[S], intelI7_5930K());
+        Out += R.Description + "\n";
+        int Stage = Instance.Stages[S].numUpdates() > 0
+                        ? Instance.Stages[S].numUpdates() - 1
+                        : -1;
+        Out += printSchedule(Instance.Stages[S], Stage) + "\n";
+      }
+    }
+    return Out;
+  };
+
+  std::string Plain = Optimize();
+
+  obs::setTracingEnabled(true);
+  obs::setExplainEnabled(true);
+  std::string Traced = Optimize();
+  size_t Decisions = obs::takeDecisions().size();
+  obs::setTracingEnabled(false);
+  obs::setExplainEnabled(false);
+  obs::clearTrace();
+
+  EXPECT_EQ(Plain, Traced);
+  EXPECT_GT(Decisions, 0u); // the traced run did record provenance
 }
 
 TEST(DeterminismTest, SimulatorStatsReproducible) {

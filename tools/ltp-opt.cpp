@@ -3,20 +3,23 @@
 // Part of the LTP project (CGO'18 prefetch-aware loop transformations).
 //
 // The tool of Section 4: feed it an algorithm (one of the built-in
-// benchmark definitions) and a platform, get back the classification, the
-// optimization schedule, the lowered loop nest and (optionally) the
-// generated C — without running anything.
+// benchmark definitions, or `all` for the whole suite) and a platform,
+// get back the classification, the optimization schedule, the lowered
+// loop nest and (optionally) the generated C — without running anything.
 //
 // Usage:
-//   ltp-opt <benchmark> [--arch 5930k|6700|a15|host] [--size N]
+//   ltp-opt <benchmark>|all [--arch 5930k|6700|a15|host] [--size N]
 //           [--schedule "<directives>"] [--emit-c] [--simulate]
-//           [--no-nti] [--run] [--verify]
+//           [--no-nti] [--run] [--verify] [--explain]
+//           [--trace-json FILE]
 //
 // Examples:
 //   ltp-opt matmul --size 2048 --arch 5930k
 //   ltp-opt tpm --emit-c
 //   ltp-opt matmul --schedule "split(i, i_t, i_i, 32); parallel(i_t);"
 //   ltp-opt doitgen --simulate --arch a15
+//   ltp-opt matmul --explain
+//   ltp-opt all --simulate --trace-json trace.json
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +29,8 @@
 #include "core/Optimizer.h"
 #include "ir/IRPrinter.h"
 #include "lang/ScheduleText.h"
+#include "obs/Provenance.h"
+#include "obs/Telemetry.h"
 #include "support/ArgParse.h"
 #include "support/Timer.h"
 
@@ -38,7 +43,7 @@ namespace {
 
 void printUsage() {
   std::printf(
-      "usage: ltp-opt <benchmark> [options]\n"
+      "usage: ltp-opt <benchmark>|all [options]\n"
       "\n"
       "benchmarks:");
   for (const BenchmarkDef &Def : allBenchmarks())
@@ -58,7 +63,12 @@ void printUsage() {
       "  --no-nti                     disable non-temporal stores\n"
       "  --run                        JIT-compile and time the pipeline\n"
       "  --verify                     print each stage's dependence graph "
-      "and per-directive legality verdicts\n");
+      "and per-directive legality verdicts\n"
+      "  --explain                    log every candidate schedule the "
+      "optimizer considered, with predicted misses and the accept/prune "
+      "reason\n"
+      "  --trace-json FILE            collect spans and write a "
+      "Chrome-trace/Perfetto JSON on exit\n");
 }
 
 ArchParams pickArch(const std::string &Name) {
@@ -71,31 +81,30 @@ ArchParams pickArch(const std::string &Name) {
   return detectHost();
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  ArgParse Args(Argc, Argv);
-  if (Args.positional().empty() || Args.has("help")) {
-    printUsage();
-    return Args.has("help") ? 0 : 1;
-  }
-  const std::string Name = Args.positional().front();
-  const BenchmarkDef *Def = findBenchmark(Name);
-  if (!Def) {
-    std::fprintf(stderr, "error: unknown benchmark '%s'\n", Name.c_str());
-    printUsage();
-    return 1;
-  }
-
-  ArchParams Arch = pickArch(Args.getString("arch", "host"));
-  if (Args.has("arch-file")) {
-    auto Loaded = loadArchParams(Args.getString("arch-file", ""));
-    if (!Loaded) {
-      std::fprintf(stderr, "error: %s\n", Loaded.getError().c_str());
-      return 1;
+/// Prints the optimizer decision log collected since the last call (the
+/// --explain flow). One block per optimized stage: classification, every
+/// candidate with its predicted misses and accept/prune reason, and the
+/// chosen schedule.
+void printDecisions() {
+  for (const obs::DecisionRecord &D : obs::takeDecisions()) {
+    std::printf("explain %s: class=%s, %zu candidates\n", D.Stage.c_str(),
+                D.Classification.c_str(), D.Candidates.size());
+    for (const obs::CandidateRecord &C : D.Candidates) {
+      std::printf("  [%s] %s", C.Accepted ? "accept" : "prune ",
+                  C.Candidate.c_str());
+      if (C.PredL1Misses >= 0.0)
+        std::printf(" predL1=%.4g predL2=%.4g", C.PredL1Misses,
+                    C.PredL2Misses);
+      if (C.Cost >= 0.0)
+        std::printf(" cost=%.4g", C.Cost);
+      std::printf(" -- %s\n", C.Reason.c_str());
     }
-    Arch = *Loaded;
+    std::printf("  chosen: %s\n\n", D.Chosen.c_str());
   }
+}
+
+int processBenchmark(const BenchmarkDef *Def, const ArgParse &Args,
+                     const ArchParams &Arch) {
   int64_t Size = Args.getInt("size", Def->DefaultSize);
   BenchmarkInstance Instance = Def->Create(Size);
 
@@ -135,6 +144,8 @@ int main(int Argc, char **Argv) {
                   printSchedule(Instance.Stages[S], Stage).c_str());
     }
     std::printf("\n");
+    if (obs::explainEnabled())
+      printDecisions();
   }
 
   if (Args.has("verify")) {
@@ -223,4 +234,65 @@ int main(int Argc, char **Argv) {
     std::printf("\n");
   }
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args(Argc, Argv);
+  if (Args.positional().empty() || Args.has("help")) {
+    printUsage();
+    return Args.has("help") ? 0 : 1;
+  }
+  const std::string Name = Args.positional().front();
+  std::vector<const BenchmarkDef *> Targets;
+  if (Name == "all") {
+    for (const BenchmarkDef &Def : allBenchmarks())
+      Targets.push_back(&Def);
+  } else {
+    const BenchmarkDef *Def = findBenchmark(Name);
+    if (!Def) {
+      std::fprintf(stderr, "error: unknown benchmark '%s'\n", Name.c_str());
+      printUsage();
+      return 1;
+    }
+    Targets.push_back(Def);
+  }
+
+  if (Args.has("trace-json"))
+    obs::setTracingEnabled(true);
+  if (Args.has("explain"))
+    obs::setExplainEnabled(true);
+
+  ArchParams Arch = pickArch(Args.getString("arch", "host"));
+  if (Args.has("arch-file")) {
+    auto Loaded = loadArchParams(Args.getString("arch-file", ""));
+    if (!Loaded) {
+      std::fprintf(stderr, "error: %s\n", Loaded.getError().c_str());
+      return 1;
+    }
+    Arch = *Loaded;
+  }
+
+  int Rc = 0;
+  for (const BenchmarkDef *Def : Targets) {
+    Rc = processBenchmark(Def, Args, Arch);
+    if (Rc != 0)
+      break;
+  }
+
+  if (Args.has("trace-json")) {
+    std::string Path = Args.getString("trace-json", "trace.json");
+    if (Path.empty())
+      Path = "trace.json";
+    std::string Error;
+    if (!obs::writeTrace(Path, &Error)) {
+      std::fprintf(stderr, "error: cannot write trace %s: %s\n",
+                   Path.c_str(), Error.c_str());
+      return 1;
+    }
+    std::printf("trace     : %s (%zu events)\n", Path.c_str(),
+                obs::traceEventCount());
+  }
+  return Rc;
 }

@@ -1,0 +1,79 @@
+//===- ltp-trace-check.cpp - validate a Chrome-trace JSON file ------------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+// Small standalone checker for the trace files written by --trace-json:
+// parses the JSON with the project's own parser and validates the
+// Chrome-trace-event structure Perfetto expects (traceEvents array, "X"
+// spans with name/ts/dur/pid/tid, "C" counters with args, "M" metadata).
+// CI runs it over the traced fig4 smoke so a malformed trace fails the
+// build rather than failing silently in the viewer.
+//
+// Usage: ltp-trace-check <trace.json> [--require-span NAME]...
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/JsonCheck.h"
+#include "support/ArgParse.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+using namespace ltp;
+
+int main(int Argc, char **Argv) {
+  ArgParse Args(Argc, Argv);
+  if (Args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: ltp-trace-check <trace.json> "
+                 "[--require-span NAME]\n");
+    return 1;
+  }
+  const std::string Path = Args.positional().front();
+
+  std::string Summary;
+  std::string Error;
+  if (!obs::checkTraceFile(Path, &Summary, &Error)) {
+    std::fprintf(stderr, "ltp-trace-check: %s: %s\n", Path.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+
+  // Optional structural requirement: the trace must contain at least one
+  // span with the given name (e.g. --require-span opt.optimize proves the
+  // optimizer layer was traced).
+  if (Args.has("require-span")) {
+    std::ifstream In(Path);
+    std::ostringstream Text;
+    Text << In.rdbuf();
+    std::unique_ptr<obs::JsonValue> Root = obs::parseJson(Text.str(), &Error);
+    if (!Root) {
+      std::fprintf(stderr, "ltp-trace-check: %s: %s\n", Path.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    const std::string Wanted = Args.getString("require-span", "");
+    bool Found = false;
+    if (const obs::JsonValue *Events = Root->find("traceEvents"))
+      for (const obs::JsonValue &E : Events->Elements) {
+        const obs::JsonValue *Ph = E.find("ph");
+        const obs::JsonValue *Name = E.find("name");
+        if (Ph && Name && Ph->StringValue == "X" &&
+            Name->StringValue == Wanted) {
+          Found = true;
+          break;
+        }
+      }
+    if (!Found) {
+      std::fprintf(stderr,
+                   "ltp-trace-check: %s: no span named '%s' in trace\n",
+                   Path.c_str(), Wanted.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("%s: OK (%s)\n", Path.c_str(), Summary.c_str());
+  return 0;
+}
