@@ -185,6 +185,7 @@ struct TelemetryState {
   std::string TracePath;
   std::string ReportPath;
   std::string BenchName;
+  std::string SkipReason;
   std::vector<std::string> Rows;
   bool AtExitRegistered = false;
 };
@@ -236,6 +237,8 @@ void flushTelemetry() {
     return;
   std::ofstream Out(State.ReportPath);
   Out << "{\n  \"bench\": \"" << escapeJson(State.BenchName) << "\",\n";
+  if (!State.SkipReason.empty())
+    Out << "  \"skipped\": \"" << escapeJson(State.SkipReason) << "\",\n";
   Out << "  \"results\": [";
   for (size_t I = 0; I != State.Rows.size(); ++I)
     Out << (I ? ",\n    " : "\n    ") << State.Rows[I];
@@ -293,6 +296,10 @@ void ltp::bench::reportResult(const std::string &Bench,
     Row += ", " + ExtraJson;
   Row += "}";
   State.Rows.push_back(std::move(Row));
+}
+
+void ltp::bench::reportSkipped(const std::string &Reason) {
+  telemetryState().SkipReason = Reason;
 }
 
 void ltp::bench::printTelemetryFooter() {

@@ -101,6 +101,12 @@ void reportResult(const std::string &Bench, const std::string &Config,
                   const TimingStats &Stats,
                   const std::string &ExtraJson = "");
 
+/// Marks the whole bench as skipped in the machine-readable report
+/// (`"skipped": "<reason>"`). Call on SKIPPED early-exit paths before
+/// returning so --json consumers (tools/ltp-bench-diff) can tell an
+/// environment skip from an empty run.
+void reportSkipped(const std::string &Reason);
+
 /// Prints every registered telemetry counter as a single footer block.
 /// Counters are process-wide; the footer is the one consistent place
 /// benches report JIT / simulator / optimizer activity.

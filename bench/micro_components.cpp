@@ -11,7 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "benchmarks/PipelineRunner.h"
-#include "core/CacheEmu.h"
+#include "model/CacheEmu.h"
 #include "core/Optimizer.h"
 #include "runtime/NonTemporal.h"
 #include "runtime/ThreadPool.h"

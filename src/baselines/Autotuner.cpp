@@ -5,12 +5,14 @@
 #include "analysis/Legality.h"
 #include "benchmarks/PipelineRunner.h"
 #include "core/AccessInfo.h"
+#include "model/MissModel.h"
 #include "obs/Telemetry.h"
 #include "support/Format.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <random>
 
 using namespace ltp;
@@ -155,12 +157,59 @@ AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
   static obs::Counter &EvaluatedCounter = obs::counter("autotune.evaluated");
   static obs::Counter &PrunedCounter = obs::counter("autotune.pruned");
   static obs::Counter &FailedCounter = obs::counter("autotune.failed");
+  static obs::Counter &ModelPrunedCounter =
+      obs::counter("autotune.pruned.model");
+  static obs::Counter &PredictAnalytic =
+      obs::counter("model.predict.analytic");
+  static obs::Counter &PredictFallback =
+      obs::counter("model.predict.fallback");
   std::mt19937 Rng(Options.Seed);
   ArchParams Arch = detectHost();
   Timer Budget;
 
   AutotuneOutcome Outcome;
   PipelineDecision BestDecision;
+
+  const bool ModelPruning = Options.ModelKeepFraction < 1.0;
+  model::BufferStrides Strides;
+  for (const auto &[Name, Buf] : Instance.Buffers)
+    Strides[Name] = Buf.Strides;
+
+  // Predicted weighted misses (Eq. 11 weights) for the candidate whose
+  // schedules are currently applied to the instance. Closed form when it
+  // applies; the cache simulator otherwise (always, in Sim mode).
+  auto ScoreCandidate = [&](bool &UsedAnalytic) {
+    double Score = 0.0;
+    UsedAnalytic = Options.Score != model::ScoreMode::Sim;
+    if (UsedAnalytic) {
+      for (size_t I = 0; I != Instance.Stages.size() && UsedAnalytic; ++I) {
+        const Func &F = Instance.Stages[I];
+        int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+        StageAccessInfo Info =
+            analyzeStage(F, ComputeStage, Instance.StageExtents[I]);
+        std::vector<model::LoopDim> Nest;
+        if (!model::scheduledNest(F, ComputeStage, Info, Nest)) {
+          UsedAnalytic = false;
+          break;
+        }
+        model::MissPrediction P =
+            model::predictMisses(Info, Nest, Arch, Strides);
+        if (!P.Analytic) {
+          UsedAnalytic = false;
+          break;
+        }
+        Score += Arch.A2 * P.L1Misses + Arch.A3 * P.L2Misses;
+      }
+    }
+    if (!UsedAnalytic) {
+      SimResult R = simulatePipeline(Instance, Arch);
+      Score = Arch.A2 * static_cast<double>(R.Stats.L1.DemandMisses) +
+              Arch.A3 * static_cast<double>(R.Stats.L2.DemandMisses);
+    }
+    (UsedAnalytic ? PredictAnalytic : PredictFallback).add();
+    ++(UsedAnalytic ? Outcome.ScoredAnalytic : Outcome.ScoredSim);
+    return Score;
+  };
 
   // Candidates are drawn and compiled in batches: compilePipelines fans
   // the cold cc invocations across the thread pool, then each candidate
@@ -173,8 +222,11 @@ AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
     if (Options.MaxCandidates > 0)
       BatchN = std::min(BatchN, Options.MaxCandidates - Drawn);
 
-    std::vector<PipelineDecision> Batch;
-    std::vector<PipelineCompileJob> Jobs;
+    struct Ranked {
+      PipelineDecision Decision;
+      double Score = 0.0;
+    };
+    std::vector<Ranked> Legal;
     for (int B = 0; B != BatchN; ++B) {
       PipelineDecision Decision;
       for (size_t I = 0; I != Instance.Stages.size(); ++I) {
@@ -200,10 +252,43 @@ AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
         PrunedCounter.add();
         continue;
       }
-      Jobs.push_back(makeCompileJob(Instance));
-      Batch.push_back(std::move(Decision));
+      Ranked R;
+      if (ModelPruning) {
+        bool UsedAnalytic = false;
+        R.Score = ScoreCandidate(UsedAnalytic);
+      }
+      R.Decision = std::move(Decision);
+      Legal.push_back(std::move(R));
     }
     Drawn += BatchN;
+
+    // Miss-model ranking: compile only the most promising fraction of the
+    // legal candidates. The stable sort keeps the draw order on ties, so
+    // the search stays a deterministic function of the seed.
+    if (ModelPruning && Legal.size() > 1) {
+      size_t Keep = std::max<size_t>(
+          1, static_cast<size_t>(std::ceil(
+                 static_cast<double>(Legal.size()) *
+                 std::max(0.0, Options.ModelKeepFraction))));
+      if (Keep < Legal.size()) {
+        std::stable_sort(Legal.begin(), Legal.end(),
+                         [](const Ranked &A, const Ranked &B) {
+                           return A.Score < B.Score;
+                         });
+        int Dropped = static_cast<int>(Legal.size() - Keep);
+        Outcome.CandidatesModelPruned += Dropped;
+        ModelPrunedCounter.add(Dropped);
+        Legal.resize(Keep);
+      }
+    }
+
+    std::vector<PipelineDecision> Batch;
+    std::vector<PipelineCompileJob> Jobs;
+    for (Ranked &R : Legal) {
+      applyPipelineDecision(Instance, R.Decision, Arch);
+      Jobs.push_back(makeCompileJob(Instance));
+      Batch.push_back(std::move(R.Decision));
+    }
 
     std::vector<ErrorOr<CompiledPipeline>> Compiled =
         compilePipelines(Jobs, Compiler);

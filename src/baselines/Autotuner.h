@@ -21,6 +21,7 @@
 
 #include "benchmarks/Benchmarks.h"
 #include "jit/JIT.h"
+#include "model/ScoreMode.h"
 
 #include <cstdint>
 #include <string>
@@ -48,6 +49,17 @@ struct AutotuneOptions {
   /// rerun replays exactly the schedules a cold run compiled and the
   /// on-disk kernel cache serves every compilation.
   int MaxCandidates = 0;
+  /// Miss-model pruning: rank each batch's legal candidates by predicted
+  /// weighted misses (Eq. 11 weights) and compile only the best
+  /// `ceil(fraction * legal)` of them, spending the compile+time budget
+  /// on schedules the model thinks can win. 1.0 compiles every legal
+  /// candidate (the original search).
+  double ModelKeepFraction = 0.5;
+  /// Scoring path for the pruning stage: Analytic/Auto use the
+  /// closed-form miss model with an automatic, counted fallback to the
+  /// cache simulator when its applicability check fails; Sim always
+  /// simulates.
+  model::ScoreMode Score = model::ScoreMode::Auto;
 };
 
 /// Search outcome. The best schedule found is left applied to the
@@ -60,6 +72,13 @@ struct AutotuneOutcome {
   /// compilation was attempted (e.g. a parallel mark drawn on a
   /// dependence-carrying reduction loop).
   int CandidatesPruned = 0;
+  /// Legal candidates dropped by the miss-model ranking before any
+  /// compilation was attempted.
+  int CandidatesModelPruned = 0;
+  /// Of the candidates the pruning stage scored: how many the closed-form
+  /// model handled vs how many fell back to the cache simulator.
+  int ScoredAnalytic = 0;
+  int ScoredSim = 0;
   std::string BestDescription;
 };
 

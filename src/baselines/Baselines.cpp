@@ -2,8 +2,8 @@
 
 #include "baselines/Baselines.h"
 
-#include "core/CacheEmu.h"
-#include "core/CostModel.h"
+#include "model/CacheEmu.h"
+#include "model/CostModel.h"
 
 #include <algorithm>
 #include <cassert>

@@ -50,6 +50,7 @@ OptimizationResult ltp::optimize(Func &F,
   int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
   StageAccessInfo Info = analyzeStage(F, ComputeStage, OutputExtents);
   Result.Class = classify(Info);
+  Result.ClassifyMillis = T.elapsedMillis();
   obs::beginDecision(F.name(), statementClassName(Result.Class.Kind));
 
   bool WantNTI = Result.Class.UseNonTemporalStores &&
@@ -57,7 +58,9 @@ OptimizationResult ltp::optimize(Func &F,
 
   switch (Result.Class.Kind) {
   case StatementClass::TemporalReuse: {
+    Timer Phase;
     Result.Temporal = optimizeTemporal(Info, Arch, Options.Temporal);
+    Result.TemporalMillis = Phase.elapsedMillis();
     applyTemporalSchedule(F, ComputeStage, Result.Temporal, Info);
     // Give the init stage of a reduction the plain treatment so zeroing
     // the output does not dominate at large problem sizes.
@@ -71,7 +74,10 @@ OptimizationResult ltp::optimize(Func &F,
   }
   case StatementClass::SpatialReuse: {
     if (Info.Loops.size() == 2) {
-      Result.Spatial = optimizeSpatial(Info, Result.Class, Arch);
+      Timer Phase;
+      Result.Spatial =
+          optimizeSpatial(Info, Result.Class, Arch, Options.Temporal.Score);
+      Result.SpatialMillis = Phase.elapsedMillis();
       applySpatialSchedule(F, ComputeStage, Result.Spatial);
       Result.Description =
           std::string("spatial: ") + describeSpatialSchedule(Result.Spatial);

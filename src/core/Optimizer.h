@@ -50,6 +50,12 @@ struct OptimizationResult {
   std::string Description;
   /// Optimizer wall-clock in milliseconds (Table 5).
   double RuntimeMillis = 0.0;
+  /// Phase breakdown of RuntimeMillis (Table 5's --json report):
+  /// analysis+classification, then the search phase that ran (at most one
+  /// of temporal/spatial is non-zero).
+  double ClassifyMillis = 0.0;
+  double TemporalMillis = 0.0;
+  double SpatialMillis = 0.0;
 };
 
 /// Classifies and schedules the compute stage of \p F (in place). The

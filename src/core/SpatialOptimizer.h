@@ -22,6 +22,7 @@
 #include "arch/ArchParams.h"
 #include "core/AccessInfo.h"
 #include "core/Classifier.h"
+#include "model/ScoreMode.h"
 
 #include <cstdint>
 #include <string>
@@ -49,10 +50,13 @@ struct SpatialSchedule {
 };
 
 /// Runs Algorithm 3. The stage must be two-dimensional with at least one
-/// transposed input (as detected by \p C).
+/// transposed input (as detected by \p C). \p Score picks the Algorithm 1
+/// tile-height bound path: closed form (with automatic emulator fallback)
+/// or the iterative emulation.
 SpatialSchedule optimizeSpatial(const StageAccessInfo &Info,
                                 const Classification &C,
-                                const ArchParams &Arch);
+                                const ArchParams &Arch,
+                                model::ScoreMode Score = model::ScoreMode::Auto);
 
 /// Applies \p Schedule to stage \p StageIndex of \p F.
 void applySpatialSchedule(Func &F, int StageIndex,

@@ -2,7 +2,9 @@
 
 #include "core/TemporalOptimizer.h"
 
-#include "core/CacheEmu.h"
+#include "model/CacheEmu.h"
+#include "model/NestScorer.h"
+#include "model/TileBound.h"
 #include "obs/Provenance.h"
 #include "obs/Telemetry.h"
 #include "support/Format.h"
@@ -45,11 +47,11 @@ const LoopInfo *findLoop(const StageAccessInfo &Info,
   return nullptr;
 }
 
-/// Recursively enumerates tile choices for `Vars[Depth..]` and calls
-/// \p Visit for every complete assignment.
+/// Recursively enumerates tile choices for the dense tile vector slots in
+/// `Choices[Depth..]` and calls \p Visit for every complete assignment.
 void enumerateTiles(
-    const std::vector<std::pair<std::string, std::vector<int64_t>>> &Choices,
-    size_t Depth, TileMap &Tiles, const std::function<void()> &Visit) {
+    const std::vector<std::pair<int, std::vector<int64_t>>> &Choices,
+    size_t Depth, int64_t *Tiles, const std::function<void()> &Visit) {
   if (Depth == Choices.size()) {
     Visit();
     return;
@@ -123,6 +125,35 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
   // search itself so enabling it cannot perturb the chosen schedule.
   const bool Explain = obs::explainEnabled();
   static obs::Counter &CandidateCounter = obs::counter("opt.candidates");
+  static obs::Counter &AnalyticCounter =
+      obs::counter("opt.candidates.analytic");
+  static obs::Counter &SimCounter = obs::counter("opt.candidates.sim");
+
+  // Analytic-first scoring: the stage's access functions are compiled
+  // once into the dense NestScorer and every candidate scores without
+  // string hashing or map lookups; Sim mode keeps the original map-based
+  // cost-model path so the two runtimes can be compared honestly.
+  const bool AnalyticScoring = Options.Score != model::ScoreMode::Sim;
+  const model::NestScorer Scorer(Info, Arch);
+  const size_t NumLoops = Info.Loops.size();
+  std::vector<int64_t> Dense(NumLoops, 1);
+  const int ColumnIdx = Scorer.loopIndex(Column);
+  assert(ColumnIdx >= 0 && "column variable is not a loop");
+
+  // Near-tie volume tiebreak multiplies in name order, matching TileMap
+  // iteration, so the dense path breaks ties exactly like the map path.
+  std::vector<int> VolOrder(NumLoops);
+  for (size_t I = 0; I != NumLoops; ++I)
+    VolOrder[I] = static_cast<int>(I);
+  std::sort(VolOrder.begin(), VolOrder.end(), [&](int A, int B) {
+    return Info.Loops[A].Name < Info.Loops[B].Name;
+  });
+
+  // Parallel-candidate loops (Eq. 13), resolved to dense indices once.
+  std::vector<std::pair<const LoopInfo *, int>> ParCandidates;
+  for (const LoopInfo *Loop : BigLoops)
+    if (!Loop->IsReduction && Loop->Name != Column)
+      ParCandidates.emplace_back(Loop, Scorer.loopIndex(Loop->Name));
 
   // ---- Step 1: tile sizes + reuse pivots. --------------------------------
   // u: outermost intra-tile loop (L1 reuse); v: innermost inter-tile loop
@@ -130,7 +161,9 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
   for (const LoopInfo *U : BigLoops) {
     if (U->Name == Column)
       continue; // the column loop must not be the outermost intra loop
+    const int UIdx = Scorer.loopIndex(U->Name);
     for (const LoopInfo *V : BigLoops) {
+      const int VIdx = Scorer.loopIndex(V->Name);
       for (int64_t Tc : ColumnCandidates) {
         int64_t MaxT1 = 0;
         int64_t MaxT2 = 0;
@@ -140,7 +173,8 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
                              V->Name.c_str(), static_cast<long long>(Tc));
           });
           // Algorithm 1 bounds: L1 rows of width Tc, then L2 rows with
-          // the constant-stride prefetcher active.
+          // the constant-stride prefetcher active. The closed form
+          // replaces the per-line emulation whenever it applies.
           CacheEmuParams EmuL1;
           EmuL1.Cache = Arch.L1;
           EmuL1.L1LineBytes = Arch.L1.LineBytes;
@@ -149,7 +183,7 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
           EmuL1.RowStrideElems = Bc;
           EmuL1.EffectiveWaysDivisor = EffDivL1;
           EmuL1.MaxRows = MaxExtent;
-          MaxT1 = emulateMaxTileDim(EmuL1);
+          MaxT1 = model::boundMaxTileDim(EmuL1, Options.Score);
 
           CacheEmuParams EmuL2 = EmuL1;
           EmuL2.Cache = Arch.L2;
@@ -157,11 +191,11 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
           EmuL2.L2Pref = Arch.L2PrefetchDegree;
           EmuL2.L2MaxPref = Arch.L2MaxPrefetchDistance;
           EmuL2.ForL2 = !Options.NoL2SetHalving;
-          MaxT2 = emulateMaxTileDim(EmuL2);
+          MaxT2 = model::boundMaxTileDim(EmuL2, Options.Score);
         }
 
         // Build per-loop candidate lists.
-        std::vector<std::pair<std::string, std::vector<int64_t>>> Choices;
+        std::vector<std::pair<int, std::vector<int64_t>>> Choices;
         bool Feasible = true;
         for (const LoopInfo *Loop : BigLoops) {
           if (Loop->Name == Column)
@@ -190,22 +224,23 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
           }
           if (Cands.empty())
             Feasible = false;
-          Choices.emplace_back(Loop->Name, Cands);
+          Choices.emplace_back(Scorer.loopIndex(Loop->Name), Cands);
         }
         if (!Feasible)
           continue;
         if (V->Name == Column && (Tc >= Bc || Tc > MaxT2))
           continue; // v must be tiled and within the L2 emulation bound
 
-        TileMap Tiles;
-        Tiles[Column] = Tc;
-        for (const LoopInfo *Loop : SmallLoops)
-          Tiles[Loop->Name] = Loop->Extent;
+        for (const LoopInfo &Loop : Info.Loops)
+          Dense[static_cast<size_t>(Scorer.loopIndex(Loop.Name))] =
+              Loop.Extent;
+        Dense[static_cast<size_t>(ColumnIdx)] = Tc;
 
         // Only called under --explain; the predicted misses are recomputed
         // here so the record is self-contained even for candidates pruned
         // before their cost was evaluated.
         auto Record = [&](bool Accepted, const char *Reason, double Cost) {
+          TileMap Tiles = Scorer.toTileMap(Dense.data());
           std::vector<std::string> Parts;
           for (const auto &[Var, T] : Tiles)
             Parts.push_back(strFormat("%s=%lld", Var.c_str(),
@@ -216,25 +251,41 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
           R.PredL1Misses = estimateL1Misses(Info, Tiles, U->Name);
           R.PredL2Misses = estimateL2Misses(Info, Tiles, V->Name);
           R.Cost = Cost;
+          R.ScoredBy = AnalyticScoring ? "analytic" : "sim";
           R.Accepted = Accepted;
           R.Reason = Reason;
           obs::recordCandidate(std::move(R));
         };
 
-        enumerateTiles(Choices, 0, Tiles, [&] {
+        enumerateTiles(Choices, 0, Dense.data(), [&] {
           CandidateCounter.add();
+          (AnalyticScoring ? AnalyticCounter : SimCounter).add();
+          // Sim mode rebuilds the string-keyed map and scores through the
+          // original cost-model entry points, reproducing the
+          // pre-analytic runtime for the table5 comparison.
+          TileMap SimTiles;
+          if (!AnalyticScoring)
+            SimTiles = Scorer.toTileMap(Dense.data());
+
           // Working-set fit: wsL1 is the footprint of one iteration of
           // the outermost intra-tile loop (Eq. 1); wsL2 is the whole
           // tile (Eq. 6) against the prefetch-reduced L2 budget.
-          TileMap L1Tiles = Tiles;
-          L1Tiles[U->Name] = 1;
-          int64_t WsL1 = workingSetElements(Info, L1Tiles);
+          int64_t WsL1;
+          if (AnalyticScoring) {
+            WsL1 = Scorer.workingSetPivotOne(Dense.data(), UIdx);
+          } else {
+            TileMap L1Tiles = SimTiles;
+            L1Tiles[U->Name] = 1;
+            WsL1 = workingSetElements(Info, L1Tiles);
+          }
           if (WsL1 > L1Elems) {
             if (Explain)
               Record(false, "ws-L1 overflow", -1.0);
             return;
           }
-          int64_t WsL2 = workingSetElements(Info, Tiles);
+          int64_t WsL2 = AnalyticScoring
+                             ? Scorer.workingSet(Dense.data())
+                             : workingSetElements(Info, SimTiles);
           if (WsL2 > L2Budget) {
             if (Explain)
               Record(false, "ws-L2 overflow", -1.0);
@@ -247,31 +298,37 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
           // parallel candidate; the constraint is then vacuous.
           std::string ParallelVar;
           int64_t BestTrip = 0;
-          bool HasPureCandidate = false;
-          for (const LoopInfo *Loop : BigLoops) {
-            if (Loop->IsReduction || Loop->Name == Column)
-              continue;
-            HasPureCandidate = true;
-            int64_t Trip = interTrip(Loop->Extent, Tiles.at(Loop->Name));
+          for (const auto &[Loop, Idx] : ParCandidates) {
+            int64_t Trip = interTrip(Loop->Extent,
+                                     Dense[static_cast<size_t>(Idx)]);
             if (Trip > BestTrip) {
               BestTrip = Trip;
               ParallelVar = Loop->Name;
             }
           }
           if (!Options.IgnoreParallelConstraint && TotalThreads > 1 &&
-              HasPureCandidate && BestTrip < TotalThreads) {
+              !ParCandidates.empty() && BestTrip < TotalThreads) {
             if (Explain)
               Record(false, "parallelism constraint", -1.0);
             return;
           }
 
-          double Cost =
-              Options.PrefetchUnawareModel
-                  ? Arch.A2 * estimateL1MissesNoPrefetch(Info, Tiles,
-                                                         U->Name, Lc) +
-                        Arch.A3 * estimateL2MissesNoPrefetch(
-                                      Info, Tiles, V->Name, Lc)
-                  : totalCost(Info, Tiles, U->Name, V->Name, Arch);
+          double Cost;
+          if (AnalyticScoring) {
+            Cost = Options.PrefetchUnawareModel
+                       ? Arch.A2 * Scorer.l1MissesNoPrefetch(Dense.data(),
+                                                             UIdx, Lc) +
+                             Arch.A3 * Scorer.l2MissesNoPrefetch(
+                                           Dense.data(), VIdx, Lc)
+                       : Scorer.cost(Dense.data(), UIdx, VIdx);
+          } else {
+            Cost = Options.PrefetchUnawareModel
+                       ? Arch.A2 * estimateL1MissesNoPrefetch(
+                                       Info, SimTiles, U->Name, Lc) +
+                             Arch.A3 * estimateL2MissesNoPrefetch(
+                                           Info, SimTiles, V->Name, Lc)
+                       : totalCost(Info, SimTiles, U->Name, V->Name, Arch);
+          }
           if (Best.Cost >= 0.0) {
             if (Cost > Best.Cost * (1.0 + 1e-9)) {
               if (Explain)
@@ -284,8 +341,9 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
             // miss model).
             if (Cost >= Best.Cost * (1.0 - 1e-9)) {
               double NewVolume = 1.0, OldVolume = 1.0;
-              for (const auto &[Var, T] : Tiles)
-                NewVolume *= static_cast<double>(T);
+              for (int I : VolOrder)
+                NewVolume *=
+                    static_cast<double>(Dense[static_cast<size_t>(I)]);
               for (const auto &[Var, T] : Best.Tiles)
                 OldVolume *= static_cast<double>(T);
               if (NewVolume <= OldVolume) {
@@ -299,7 +357,7 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
           if (Explain)
             Record(true, "best so far", Cost);
           Best.Cost = Cost;
-          Best.Tiles = Tiles;
+          Best.Tiles = Scorer.toTileMap(Dense.data());
           Best.MaxT1 = MaxT1;
           Best.MaxT2 = MaxT2;
           Best.WsL1 = WsL1;

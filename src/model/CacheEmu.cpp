@@ -1,6 +1,6 @@
 //===- CacheEmu.cpp - cache emulation bound (Algorithm 1) ----------------===//
 
-#include "core/CacheEmu.h"
+#include "model/CacheEmu.h"
 
 #include <algorithm>
 #include <cassert>

@@ -32,8 +32,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef LTP_CORE_CACHEEMU_H
-#define LTP_CORE_CACHEEMU_H
+#ifndef LTP_MODEL_CACHEEMU_H
+#define LTP_MODEL_CACHEEMU_H
 
 #include "arch/ArchParams.h"
 
@@ -81,4 +81,4 @@ int64_t emulateMaxTileDim(const CacheEmuParams &Params);
 
 } // namespace ltp
 
-#endif // LTP_CORE_CACHEEMU_H
+#endif // LTP_MODEL_CACHEEMU_H

@@ -1,6 +1,6 @@
 //===- CostModel.cpp - prefetch-aware cache cost model (Eqs. 1-12) -------===//
 
-#include "core/CostModel.h"
+#include "model/CostModel.h"
 
 #include <algorithm>
 #include <cassert>

@@ -27,8 +27,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef LTP_CORE_COSTMODEL_H
-#define LTP_CORE_COSTMODEL_H
+#ifndef LTP_MODEL_COSTMODEL_H
+#define LTP_MODEL_COSTMODEL_H
 
 #include "arch/ArchParams.h"
 #include "core/AccessInfo.h"
@@ -101,4 +101,4 @@ double estimateL2MissesNoPrefetch(const StageAccessInfo &Info,
 
 } // namespace ltp
 
-#endif // LTP_CORE_COSTMODEL_H
+#endif // LTP_MODEL_COSTMODEL_H

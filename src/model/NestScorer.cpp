@@ -1,0 +1,173 @@
+//===- NestScorer.cpp - precompiled dense candidate scorer ---------------===//
+
+#include "model/NestScorer.h"
+
+#include <cassert>
+
+using namespace ltp;
+using namespace ltp::model;
+
+NestScorer::NestScorer(const StageAccessInfo &Info, const ArchParams &Arch)
+    : A2(Arch.A2), A3(Arch.A3) {
+  for (const LoopInfo &Loop : Info.Loops) {
+    Names.push_back(Loop.Name);
+    Extents.push_back(Loop.Extent);
+  }
+  for (const ArrayAccess &Src : Info.Accesses) {
+    Access A;
+    A.Uses.assign(Names.size(), false);
+    for (const AffineIndex &Index : Src.Index) {
+      Dim D;
+      for (const auto &[Var, Coeff] : Index.Coeffs) {
+        int Loop = loopIndex(Var);
+        if (Loop < 0)
+          continue; // non-loop symbol: footprintDimExtent skips it too
+        // accessUsesVar looks at raw coefficients regardless of
+        // affinity; the footprint terms honour IsAffine below.
+        if (Coeff != 0)
+          A.Uses[static_cast<size_t>(Loop)] = true;
+        if (Index.IsAffine)
+          D.Terms.push_back({Loop, Coeff < 0 ? -Coeff : Coeff});
+      }
+      if (!Index.IsAffine)
+        D.Terms.clear();
+      A.Dims.push_back(std::move(D));
+    }
+    Accesses.push_back(std::move(A));
+  }
+}
+
+int NestScorer::loopIndex(const std::string &Name) const {
+  for (size_t I = 0; I != Names.size(); ++I)
+    if (Names[I] == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int64_t NestScorer::interTripAt(int Loop, const int64_t *Tiles) const {
+  return interTrip(Extents[static_cast<size_t>(Loop)],
+                   Tiles[static_cast<size_t>(Loop)]);
+}
+
+int64_t NestScorer::dimExtent(const Access &A, size_t D,
+                              const int64_t *Tiles, int PivotOne) const {
+  int64_t Extent = 1;
+  for (const Term &T : A.Dims[D].Terms) {
+    int64_t Tile = T.Loop == PivotOne ? 1 : Tiles[T.Loop];
+    Extent += T.AbsCoeff * (Tile - 1);
+  }
+  return Extent;
+}
+
+int64_t NestScorer::segments(const Access &A, const int64_t *Tiles,
+                             int PivotOne) const {
+  assert(!A.Dims.empty() && "access has no dimensions");
+  int64_t Segments = 1;
+  for (size_t D = 1; D != A.Dims.size(); ++D)
+    Segments *= dimExtent(A, D, Tiles, PivotOne);
+  return Segments;
+}
+
+int64_t NestScorer::lines(const Access &A, const int64_t *Tiles,
+                          int PivotOne, int64_t Lc) const {
+  assert(!A.Dims.empty() && "access has no dimensions");
+  int64_t ColumnExtent = dimExtent(A, 0, Tiles, PivotOne);
+  int64_t LinesPerSegment = (ColumnExtent + Lc - 1) / Lc;
+  return LinesPerSegment * segments(A, Tiles, PivotOne);
+}
+
+int64_t NestScorer::workingSet(const int64_t *Tiles) const {
+  int64_t Total = 0;
+  for (const Access &A : Accesses) {
+    int64_t Elements = 1;
+    for (size_t D = 0; D != A.Dims.size(); ++D)
+      Elements *= dimExtent(A, D, Tiles, /*PivotOne=*/-1);
+    Total += Elements;
+  }
+  return Total;
+}
+
+int64_t NestScorer::workingSetPivotOne(const int64_t *Tiles, int U) const {
+  int64_t Total = 0;
+  for (const Access &A : Accesses) {
+    int64_t Elements = 1;
+    for (size_t D = 0; D != A.Dims.size(); ++D)
+      Elements *= dimExtent(A, D, Tiles, U);
+    Total += Elements;
+  }
+  return Total;
+}
+
+double NestScorer::numTiles(const int64_t *Tiles) const {
+  double N = 1.0;
+  for (size_t L = 0; L != Extents.size(); ++L)
+    N *= static_cast<double>(interTrip(Extents[L], Tiles[L]));
+  return N;
+}
+
+template <typename MissFn>
+double NestScorer::levelMisses(const int64_t *Tiles, int Pivot,
+                               bool PivotIsIntra, MissFn Misses) const {
+  // Mirrors estimateLevelMisses: for the L1 estimate the footprint is
+  // over the intra-tile loops excluding the pivot (pivot tile treated as
+  // 1); for the L2 estimate the footprint is the whole tile.
+  const int PivotOne = PivotIsIntra ? Pivot : -1;
+  const size_t P = static_cast<size_t>(Pivot);
+  int64_t PivotIterations =
+      PivotIsIntra ? Tiles[P] : interTrip(Extents[P], Tiles[P]);
+
+  double PerTile = 0.0;
+  for (const Access &A : Accesses) {
+    double FootprintMisses = static_cast<double>(Misses(A, PivotOne));
+    if (A.Uses[P])
+      PerTile += static_cast<double>(PivotIterations) * FootprintMisses;
+    else
+      PerTile += FootprintMisses;
+  }
+
+  double Enclosing = numTiles(Tiles);
+  if (!PivotIsIntra)
+    Enclosing /= static_cast<double>(interTrip(Extents[P], Tiles[P]));
+  return PerTile * Enclosing;
+}
+
+double NestScorer::l1Misses(const int64_t *Tiles, int U) const {
+  return levelMisses(Tiles, U, /*PivotIsIntra=*/true,
+                     [&](const Access &A, int PivotOne) {
+                       return segments(A, Tiles, PivotOne);
+                     });
+}
+
+double NestScorer::l2Misses(const int64_t *Tiles, int V) const {
+  return levelMisses(Tiles, V, /*PivotIsIntra=*/false,
+                     [&](const Access &A, int PivotOne) {
+                       return segments(A, Tiles, PivotOne);
+                     });
+}
+
+double NestScorer::cost(const int64_t *Tiles, int U, int V) const {
+  return A2 * l1Misses(Tiles, U) + A3 * l2Misses(Tiles, V);
+}
+
+double NestScorer::l1MissesNoPrefetch(const int64_t *Tiles, int U,
+                                      int64_t Lc) const {
+  return levelMisses(Tiles, U, /*PivotIsIntra=*/true,
+                     [&](const Access &A, int PivotOne) {
+                       return lines(A, Tiles, PivotOne, Lc);
+                     });
+}
+
+double NestScorer::l2MissesNoPrefetch(const int64_t *Tiles, int V,
+                                      int64_t Lc) const {
+  return levelMisses(Tiles, V, /*PivotIsIntra=*/false,
+                     [&](const Access &A, int PivotOne) {
+                       return lines(A, Tiles, PivotOne, Lc);
+                     });
+}
+
+TileMap NestScorer::toTileMap(const int64_t *Tiles) const {
+  TileMap Out;
+  for (size_t L = 0; L != Names.size(); ++L)
+    Out[Names[L]] = Tiles[L];
+  return Out;
+}

@@ -1,0 +1,115 @@
+//===- NestScorer.h - precompiled dense candidate scorer --------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The temporal search (Algorithm 2) evaluates thousands of tile
+/// assignments per stage, and the generic cost-model entry points
+/// (`workingSetElements`, `estimateL1Misses`, ...) pay a
+/// `std::map<std::string,int64_t>` lookup per coefficient per candidate —
+/// which profiling shows dominating the optimizer runtime on the larger
+/// nests (convlayer, doitgen). NestScorer compiles the stage's access
+/// functions ONCE into flat per-dimension coefficient arrays so each
+/// candidate scores in O(accesses x dims) integer/double arithmetic with
+/// no allocation and no string hashing.
+///
+/// Every method reproduces its CostModel counterpart bit for bit — same
+/// integer footprint algebra, same double accumulation order — so
+/// swapping the optimizer onto the scorer cannot change a chosen
+/// schedule (AnalyticModelTest pins the equivalence on randomized
+/// candidates, DeterminismTest-style parity pins the chosen schedules).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_MODEL_NESTSCORER_H
+#define LTP_MODEL_NESTSCORER_H
+
+#include "arch/ArchParams.h"
+#include "core/AccessInfo.h"
+#include "model/CostModel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ltp {
+namespace model {
+
+class NestScorer {
+public:
+  NestScorer(const StageAccessInfo &Info, const ArchParams &Arch);
+
+  /// Index of loop \p Name in the dense tile vector (Info.Loops order),
+  /// or -1 when the name is not a loop.
+  int loopIndex(const std::string &Name) const;
+
+  int numLoops() const { return static_cast<int>(Extents.size()); }
+  int64_t loopExtent(int Loop) const { return Extents[Loop]; }
+
+  /// interTrip(extent, tile) of loop \p Loop under \p Tiles.
+  int64_t interTripAt(int Loop, const int64_t *Tiles) const;
+
+  /// == workingSetElements(Info, Tiles).
+  int64_t workingSet(const int64_t *Tiles) const;
+
+  /// == workingSetElements(Info, Tiles with loop U set to 1): the Eq. 1
+  /// footprint of one iteration of the outermost intra-tile loop.
+  int64_t workingSetPivotOne(const int64_t *Tiles, int U) const;
+
+  /// == estimateL1Misses (Eq. 5) with intra pivot \p U.
+  double l1Misses(const int64_t *Tiles, int U) const;
+
+  /// == estimateL2Misses (Eq. 10) with inter pivot \p V.
+  double l2Misses(const int64_t *Tiles, int V) const;
+
+  /// == totalCost (Eq. 11).
+  double cost(const int64_t *Tiles, int U, int V) const;
+
+  /// == the prefetch-unaware ablation pair with line size \p Lc.
+  double l1MissesNoPrefetch(const int64_t *Tiles, int U, int64_t Lc) const;
+  double l2MissesNoPrefetch(const int64_t *Tiles, int V, int64_t Lc) const;
+
+  /// Renders the dense tile vector as a TileMap (acceptance is rare, so
+  /// the map cost stays off the hot path).
+  TileMap toTileMap(const int64_t *Tiles) const;
+
+private:
+  struct Term {
+    int Loop;
+    int64_t AbsCoeff;
+  };
+  struct Dim {
+    // Empty for non-affine dims (footprint extent degrades to 1, as in
+    // footprintDimExtent).
+    std::vector<Term> Terms;
+  };
+  struct Access {
+    std::vector<Dim> Dims; // dimension 0 (contiguous) first
+    std::vector<bool> Uses; // per loop: any dimension references it
+  };
+
+  int64_t dimExtent(const Access &A, size_t D, const int64_t *Tiles,
+                    int PivotOne) const;
+  int64_t segments(const Access &A, const int64_t *Tiles,
+                   int PivotOne) const;
+  int64_t lines(const Access &A, const int64_t *Tiles, int PivotOne,
+                int64_t Lc) const;
+  double numTiles(const int64_t *Tiles) const;
+
+  template <typename MissFn>
+  double levelMisses(const int64_t *Tiles, int Pivot, bool PivotIsIntra,
+                     MissFn Misses) const;
+
+  std::vector<std::string> Names;
+  std::vector<int64_t> Extents;
+  std::vector<Access> Accesses;
+  double A2 = 1.0;
+  double A3 = 1.0;
+};
+
+} // namespace model
+} // namespace ltp
+
+#endif // LTP_MODEL_NESTSCORER_H

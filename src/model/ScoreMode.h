@@ -1,0 +1,77 @@
+//===- ScoreMode.h - candidate-scoring path selection -----------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Selects how optimizer and autotuner candidates are scored:
+///
+///  * Analytic — closed-form only. The tile bound comes from the
+///    closed-form solution of Algorithm 1 and autotuner candidates are
+///    ranked by the closed-form miss model; inapplicable cases still fall
+///    back to the emulator/simulator (the closed form has hard
+///    applicability conditions), but the fallback is counted so the
+///    `model.*.fallback` telemetry exposes it.
+///  * Sim — legacy path: the iterative cache emulation of Algorithm 1 for
+///    tile bounds and the trace-driven `AccessProgram` simulator for
+///    autotuner scoring.
+///  * Auto (default) — closed form whenever its applicability check
+///    passes, emulation/simulation otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_MODEL_SCOREMODE_H
+#define LTP_MODEL_SCOREMODE_H
+
+namespace ltp {
+namespace model {
+
+enum class ScoreMode {
+  Analytic,
+  Sim,
+  Auto,
+};
+
+/// Parses "analytic" | "sim" | "auto" (anything else returns false and
+/// leaves \p Out untouched).
+inline bool parseScoreMode(const char *Text, ScoreMode &Out) {
+  const char *A = "analytic", *S = "sim", *U = "auto";
+  auto Eq = [](const char *X, const char *Y) {
+    while (*X && *X == *Y) {
+      ++X;
+      ++Y;
+    }
+    return *X == *Y;
+  };
+  if (Eq(Text, A)) {
+    Out = ScoreMode::Analytic;
+    return true;
+  }
+  if (Eq(Text, S)) {
+    Out = ScoreMode::Sim;
+    return true;
+  }
+  if (Eq(Text, U)) {
+    Out = ScoreMode::Auto;
+    return true;
+  }
+  return false;
+}
+
+inline const char *scoreModeName(ScoreMode Mode) {
+  switch (Mode) {
+  case ScoreMode::Analytic:
+    return "analytic";
+  case ScoreMode::Sim:
+    return "sim";
+  case ScoreMode::Auto:
+    return "auto";
+  }
+  return "auto";
+}
+
+} // namespace model
+} // namespace ltp
+
+#endif // LTP_MODEL_SCOREMODE_H

@@ -9,7 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "benchmarks/Benchmarks.h"
-#include "core/CostModel.h"
+#include "model/CostModel.h"
 
 #include <gtest/gtest.h>
 

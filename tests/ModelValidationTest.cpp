@@ -18,7 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "benchmarks/PipelineRunner.h"
-#include "core/CostModel.h"
+#include "model/CostModel.h"
 #include "core/Optimizer.h"
 
 #include <gtest/gtest.h>

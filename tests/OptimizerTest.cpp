@@ -11,7 +11,7 @@
 
 #include "benchmarks/Benchmarks.h"
 #include "benchmarks/PipelineRunner.h"
-#include "core/CacheEmu.h"
+#include "model/CacheEmu.h"
 #include "core/Optimizer.h"
 #include "lang/Lower.h"
 

@@ -23,6 +23,7 @@
 #include "analysis/Legality.h"
 #include "benchmarks/PipelineRunner.h"
 #include "core/AccessInfo.h"
+#include "model/MissModel.h"
 
 #include <gtest/gtest.h>
 
@@ -225,6 +226,138 @@ TEST_P(FuzzSeeds, ConvLayerAnyScheduleIsCorrect) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
                          ::testing::Range(0, fuzzSeedCount()));
+
+// ---- Analytic miss model vs simulator, fuzzed (`model` ctest label). ---
+
+/// Random dividing splits plus a shuffled loop order — the schedule space
+/// the autotuner draws from, kept mark-free (vectorize/parallel/unroll do
+/// not change the memory traversal the model predicts). Dividing factors
+/// keep every reorder legal without a verifier round trip.
+void applyRandomTraversal(Func &F, const std::vector<int64_t> &Extents,
+                          std::mt19937 &Rng) {
+  F.clearSchedules();
+  int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+  StageAccessInfo Info = analyzeStage(F, ComputeStage, Extents);
+  Stage S = ComputeStage < 0 ? F.pureStage() : F.update(ComputeStage);
+  std::vector<std::string> Order;
+  for (const LoopInfo &Loop : Info.Loops) {
+    int MaxLog = 0;
+    while ((int64_t(1) << (MaxLog + 1)) <= Loop.Extent &&
+           Loop.Extent % (int64_t(1) << (MaxLog + 1)) == 0)
+      ++MaxLog;
+    if (MaxLog >= 3 &&
+        std::uniform_int_distribution<int>(0, 1)(Rng)) {
+      int Log = std::uniform_int_distribution<int>(3, MaxLog)(Rng);
+      S.split(Loop.Name, Loop.Name + "_t", Loop.Name + "_i",
+              int64_t(1) << Log);
+      Order.push_back(Loop.Name + "_i");
+      Order.push_back(Loop.Name + "_t");
+    } else {
+      Order.push_back(Loop.Name);
+    }
+  }
+  if (Order.size() > 1) {
+    std::shuffle(Order.begin() + 1, Order.end(), Rng);
+    S.reorder(std::vector<VarName>(Order.begin(), Order.end()));
+  }
+}
+
+/// The analytic-vs-simulator differential: on every drawn schedule the
+/// closed-form miss model either declines with a reason or agrees with
+/// the trace-driven simulator within the pinned tolerance (3x relative,
+/// or 1024 misses absolute — the slack absorbs streamer training and the
+/// simulator's base-address-dependent conflicts; AnalyticModelTest.cpp
+/// documents the calibration). Honours LTP_FUZZ_SEEDS like the
+/// correctness sweep above.
+TEST(ModelSweep, AnalyticVsSimDifferential) {
+  struct SweepKernel {
+    const char *Name;
+    int64_t Size;
+    uint32_t SeedScale;
+  };
+  const SweepKernel Kernels[] = {
+      {"matmul", 128, 1u},
+      {"doitgen", 48, 7919u},
+      {"tpm", 1024, 104729u},
+      {"mask", 1024, 31u},
+  };
+  const ArchParams Arch = intelI7_6700();
+  const int Seeds = fuzzSeedCount();
+  int Analytic = 0;
+  int Declined = 0;
+  for (int Seed = 0; Seed != Seeds; ++Seed) {
+    for (const SweepKernel &Kernel : Kernels) {
+      const BenchmarkDef *Def = findBenchmark(Kernel.Name);
+      ASSERT_NE(Def, nullptr) << Kernel.Name;
+      BenchmarkInstance Instance = Def->Create(Kernel.Size);
+      std::mt19937 Rng(static_cast<uint32_t>(Seed) * Kernel.SeedScale +
+                       0x9E37u);
+      for (size_t I = 0; I != Instance.Stages.size(); ++I)
+        applyRandomTraversal(Instance.Stages[I], Instance.StageExtents[I],
+                             Rng);
+      std::string Context = std::string(Kernel.Name) + " seed " +
+                            std::to_string(Seed);
+
+      model::BufferStrides Strides;
+      for (const auto &[BufName, Buf] : Instance.Buffers)
+        Strides[BufName] = Buf.Strides;
+      double PredL1 = 0.0, PredL2 = 0.0;
+      bool Applicable = true;
+      std::string WhyNot;
+      for (size_t I = 0; I != Instance.Stages.size() && Applicable; ++I) {
+        Func &F = Instance.Stages[I];
+        bool NT = F.isStoreNonTemporal();
+        for (int S = -1; S < F.numUpdates(); ++S) {
+          StageAccessInfo Info =
+              analyzeStage(F, S, Instance.StageExtents[I]);
+          std::vector<model::LoopDim> Nest;
+          if (!model::scheduledNest(F, S, Info, Nest, &WhyNot)) {
+            Applicable = false;
+            break;
+          }
+          model::MissPrediction P =
+              model::predictMisses(Info, Nest, Arch, Strides, NT);
+          if (!P.Analytic) {
+            Applicable = false;
+            WhyNot = P.WhyNot;
+            break;
+          }
+          PredL1 += P.L1Misses;
+          PredL2 += P.L2Misses;
+        }
+      }
+      if (!Applicable) {
+        ++Declined;
+        EXPECT_FALSE(WhyNot.empty())
+            << Context << ": model declined without a reason";
+        continue;
+      }
+      ++Analytic;
+      SimResult R = simulatePipeline(Instance, Arch);
+      auto Within = [](double Pred, double Sim) {
+        if (std::fabs(Pred - Sim) <= 1024.0)
+          return true;
+        if (Sim <= 0.0 || Pred <= 0.0)
+          return false;
+        double Ratio = Pred / Sim;
+        return Ratio <= 3.0 && Ratio >= 1.0 / 3.0;
+      };
+      EXPECT_TRUE(Within(PredL1,
+                         static_cast<double>(R.Stats.L1.DemandMisses)))
+          << Context << ": L1 predicted " << PredL1 << " vs simulated "
+          << R.Stats.L1.DemandMisses;
+      EXPECT_TRUE(Within(PredL2,
+                         static_cast<double>(R.Stats.L2.DemandMisses)))
+          << Context << ": L2 predicted " << PredL2 << " vs simulated "
+          << R.Stats.L2.DemandMisses;
+    }
+  }
+  std::printf("[model] %d schedules predicted analytically, %d declined "
+              "to the simulator\n",
+              Analytic, Declined);
+  EXPECT_GT(Analytic, 0)
+      << "the closed form declined every drawn schedule";
+}
 
 // The differential oracle: every seed, every kernel, both engines. A
 // plain TEST (not TEST_P) so the LTP_FUZZ_SEEDS override takes effect at

@@ -10,8 +10,8 @@
 // Usage:
 //   ltp-opt <benchmark>|all [--arch 5930k|6700|a15|host] [--size N]
 //           [--schedule "<directives>"] [--emit-c] [--simulate]
-//           [--no-nti] [--run] [--verify] [--explain]
-//           [--trace-json FILE]
+//           [--score-mode analytic|sim|auto] [--no-nti] [--run]
+//           [--verify] [--explain] [--trace-json FILE]
 //
 // Examples:
 //   ltp-opt matmul --size 2048 --arch 5930k
@@ -29,6 +29,7 @@
 #include "core/Optimizer.h"
 #include "ir/IRPrinter.h"
 #include "lang/ScheduleText.h"
+#include "model/ScoreMode.h"
 #include "obs/Provenance.h"
 #include "obs/Telemetry.h"
 #include "support/ArgParse.h"
@@ -60,6 +61,12 @@ void printUsage() {
       "  --emit-c                     print the generated C kernel(s)\n"
       "  --simulate                   run the cache simulator and report "
       "misses\n"
+      "  --score-mode analytic|sim|auto\n"
+      "                               candidate scoring path: closed-form "
+      "miss model,\n"
+      "                               cache emulation/simulation, or "
+      "closed-form with\n"
+      "                               automatic fallback (default auto)\n"
       "  --no-nti                     disable non-temporal stores\n"
       "  --run                        JIT-compile and time the pipeline\n"
       "  --verify                     print each stage's dependence graph "
@@ -92,6 +99,8 @@ void printDecisions() {
     for (const obs::CandidateRecord &C : D.Candidates) {
       std::printf("  [%s] %s", C.Accepted ? "accept" : "prune ",
                   C.Candidate.c_str());
+      if (!C.ScoredBy.empty())
+        std::printf(" scored-by=%s", C.ScoredBy.c_str());
       if (C.PredL1Misses >= 0.0)
         std::printf(" predL1=%.4g predL2=%.4g", C.PredL1Misses,
                     C.PredL2Misses);
@@ -107,6 +116,16 @@ int processBenchmark(const BenchmarkDef *Def, const ArgParse &Args,
                      const ArchParams &Arch) {
   int64_t Size = Args.getInt("size", Def->DefaultSize);
   BenchmarkInstance Instance = Def->Create(Size);
+
+  // Validate before any output so a typo'd mode fails fast.
+  model::ScoreMode Mode = model::ScoreMode::Auto;
+  if (!model::parseScoreMode(Args.getString("score-mode", "auto").c_str(),
+                             Mode)) {
+    std::fprintf(stderr,
+                 "error: bad --score-mode '%s' (want analytic|sim|auto)\n",
+                 Args.getString("score-mode", "").c_str());
+    return 1;
+  }
 
   std::printf("benchmark : %s (%s), size %lld\n", Def->Name.c_str(),
               Def->Description.c_str(), static_cast<long long>(Size));
@@ -131,6 +150,7 @@ int processBenchmark(const BenchmarkDef *Def, const ArgParse &Args,
     for (size_t S = 0; S != Instance.Stages.size(); ++S) {
       OptimizerOptions Options;
       Options.EnableNonTemporal = !Args.has("no-nti");
+      Options.Temporal.Score = Mode;
       OptimizationResult R = optimize(
           Instance.Stages[S], Instance.StageExtents[S], Arch, Options);
       std::printf("stage %zu (%s): class=%s, %.2f ms to optimize\n  %s\n",
@@ -279,6 +299,36 @@ int main(int Argc, char **Argv) {
     Rc = processBenchmark(Def, Args, Arch);
     if (Rc != 0)
       break;
+  }
+
+  // Scoring-path telemetry: how many candidates each path handled and how
+  // often the closed-form tile bound applied.
+  if (Rc == 0 && !Args.has("schedule")) {
+    int64_t Cand = 0, CandAnalytic = 0, CandSim = 0;
+    int64_t BoundAnalytic = 0, BoundEmulated = 0, BoundFallback = 0;
+    for (const auto &[CounterName, Value] : obs::counterSnapshot()) {
+      if (CounterName == "opt.candidates")
+        Cand = Value;
+      else if (CounterName == "opt.candidates.analytic")
+        CandAnalytic = Value;
+      else if (CounterName == "opt.candidates.sim")
+        CandSim = Value;
+      else if (CounterName == "model.bound.analytic")
+        BoundAnalytic = Value;
+      else if (CounterName == "model.bound.emulated")
+        BoundEmulated = Value;
+      else if (CounterName == "model.bound.fallback")
+        BoundFallback = Value;
+    }
+    std::printf("telemetry : %lld candidates scored (analytic %lld, "
+                "sim %lld); tile bounds: analytic %lld, emulated %lld, "
+                "fallback %lld\n",
+                static_cast<long long>(Cand),
+                static_cast<long long>(CandAnalytic),
+                static_cast<long long>(CandSim),
+                static_cast<long long>(BoundAnalytic),
+                static_cast<long long>(BoundEmulated),
+                static_cast<long long>(BoundFallback));
   }
 
   if (Args.has("trace-json")) {
