@@ -172,7 +172,7 @@ void ltp::bench::printJITStats(const JITCompiler &Compiler) {
   std::printf("JIT stats        : cc invocations : %d | memo hits : %d | "
               "disk hits : %d\n",
               static_cast<int>(obs::counter("jit.cc_invocations").value()),
-              static_cast<int>(obs::counter("jit.memo_hits").value()),
+              static_cast<int>(obs::counter("jit.memo.hit").value()),
               static_cast<int>(obs::counter("jit.disk_hits").value()));
   std::printf("kernel cache     : %s\n", Compiler.cacheDir().c_str());
 }

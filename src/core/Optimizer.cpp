@@ -15,12 +15,11 @@ using namespace ltp;
 
 namespace {
 
-/// Parallelize the outermost loop and vectorize the innermost (column)
-/// loop of a stage — the treatment for NoTransform statements and for the
-/// pure init stages of reductions.
-void applyParVec(Func &F, int StageIndex, const StageAccessInfo &Info,
-                 const ArchParams &Arch) {
-  Stage S = StageIndex < 0 ? F.pureStage() : F.update(StageIndex);
+/// Chooses the plain treatment for a stage: parallelize the outermost
+/// pure loop and vectorize the innermost (column) loop — the schedule for
+/// NoTransform statements and for the pure init stages of reductions.
+ParVecPlan planParVec(const StageAccessInfo &Info, const ArchParams &Arch) {
+  ParVecPlan Plan;
   // Outermost pure loop: the last pure loop in default order.
   std::string Outermost;
   for (const LoopInfo &Loop : Info.Loops)
@@ -28,14 +27,114 @@ void applyParVec(Func &F, int StageIndex, const StageAccessInfo &Info,
       Outermost = Loop.Name;
   if (!Outermost.empty() && Outermost != Info.Loops.front().Name &&
       Arch.NCores > 1)
-    S.parallel(Outermost);
+    Plan.ParallelVar = Outermost;
   const LoopInfo &Inner = Info.Loops.front();
   if (Arch.VectorWidth > 1 && !Inner.IsReduction &&
       Inner.Extent >= Arch.VectorWidth)
-    S.vectorize(Inner.Name);
+    Plan.VectorVar = Inner.Name;
+  return Plan;
+}
+
+void applyParVec(Func &F, int StageIndex, const ParVecPlan &Plan) {
+  Stage S = StageIndex < 0 ? F.pureStage() : F.update(StageIndex);
+  if (!Plan.ParallelVar.empty())
+    S.parallel(Plan.ParallelVar);
+  if (!Plan.VectorVar.empty())
+    S.vectorize(Plan.VectorVar);
+}
+
+int computeStageIndex(const Func &F) {
+  return F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
 }
 
 } // namespace
+
+StagePlan ltp::planStage(const Func &F,
+                         const std::vector<int64_t> &OutputExtents,
+                         const ArchParams &Arch,
+                         const OptimizerOptions &Options) {
+  Timer T;
+  StagePlan Plan;
+  obs::ScopedSpan Span("opt.plan", [&] { return "func=" + F.name(); });
+
+  int ComputeStage = computeStageIndex(F);
+  Plan.Info = analyzeStage(F, ComputeStage, OutputExtents);
+  Plan.Class = classify(Plan.Info);
+  Plan.ClassifyMillis = T.elapsedMillis();
+  obs::beginDecision(F.name(), statementClassName(Plan.Class.Kind));
+
+  Plan.NonTemporalOutput = Plan.Class.UseNonTemporalStores &&
+                           Options.EnableNonTemporal &&
+                           Arch.HasNonTemporalStores;
+
+  switch (Plan.Class.Kind) {
+  case StatementClass::TemporalReuse: {
+    Timer Phase;
+    Plan.Kind = StagePlan::Mode::Temporal;
+    Plan.Temporal = optimizeTemporal(Plan.Info, Arch, Options.Temporal);
+    Plan.TemporalMillis = Phase.elapsedMillis();
+    // Give the init stage of a reduction the plain treatment so zeroing
+    // the output does not dominate at large problem sizes.
+    if (ComputeStage >= 0) {
+      Plan.HasInitStage = true;
+      Plan.InitParVec = planParVec(analyzeStage(F, -1, OutputExtents), Arch);
+    }
+    Plan.Description = std::string("temporal: ") +
+                       describeTemporalSchedule(Plan.Temporal);
+    break;
+  }
+  case StatementClass::SpatialReuse: {
+    if (Plan.Info.Loops.size() == 2) {
+      Timer Phase;
+      Plan.Kind = StagePlan::Mode::Spatial;
+      Plan.Spatial = optimizeSpatial(Plan.Info, Plan.Class, Arch,
+                                     Options.Temporal.Score);
+      Plan.SpatialMillis = Phase.elapsedMillis();
+      Plan.Description =
+          std::string("spatial: ") + describeSpatialSchedule(Plan.Spatial);
+    } else {
+      // The spatial model covers 2-D statements; higher-rank transposed
+      // statements fall back to the plain treatment.
+      Plan.Kind = StagePlan::Mode::ParVec;
+      Plan.ComputeParVec = planParVec(Plan.Info, Arch);
+      Plan.Description = "spatial(fallback): parallel+vectorize";
+    }
+    break;
+  }
+  case StatementClass::NoTransform: {
+    Plan.Kind = StagePlan::Mode::ParVec;
+    Plan.ComputeParVec = planParVec(Plan.Info, Arch);
+    Plan.Description = Plan.Class.IsStencil
+                           ? "no-transform(stencil): parallel+vectorize"
+                           : "no-transform: parallel+vectorize";
+    break;
+  }
+  }
+
+  if (Plan.NonTemporalOutput)
+    Plan.Description += " +NTI";
+  obs::endDecision(Plan.Description);
+  return Plan;
+}
+
+void ltp::applyPlan(Func &F, const StagePlan &Plan) {
+  int ComputeStage = computeStageIndex(F);
+  switch (Plan.Kind) {
+  case StagePlan::Mode::Temporal:
+    applyTemporalSchedule(F, ComputeStage, Plan.Temporal, Plan.Info);
+    break;
+  case StagePlan::Mode::Spatial:
+    applySpatialSchedule(F, ComputeStage, Plan.Spatial);
+    break;
+  case StagePlan::Mode::ParVec:
+    applyParVec(F, ComputeStage, Plan.ComputeParVec);
+    break;
+  }
+  if (Plan.HasInitStage && ComputeStage >= 0)
+    applyParVec(F, -1, Plan.InitParVec);
+  if (Plan.NonTemporalOutput)
+    F.storeNonTemporal();
+}
 
 OptimizationResult ltp::optimize(Func &F,
                                  const std::vector<int64_t> &OutputExtents,
@@ -47,66 +146,22 @@ OptimizationResult ltp::optimize(Func &F,
                        [&] { return "func=" + F.name(); });
 
   F.clearSchedules();
-  int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
-  StageAccessInfo Info = analyzeStage(F, ComputeStage, OutputExtents);
-  Result.Class = classify(Info);
-  Result.ClassifyMillis = T.elapsedMillis();
-  obs::beginDecision(F.name(), statementClassName(Result.Class.Kind));
+  StagePlan Plan = planStage(F, OutputExtents, Arch, Options);
+  applyPlan(F, Plan);
 
-  bool WantNTI = Result.Class.UseNonTemporalStores &&
-                 Options.EnableNonTemporal && Arch.HasNonTemporalStores;
-
-  switch (Result.Class.Kind) {
-  case StatementClass::TemporalReuse: {
-    Timer Phase;
-    Result.Temporal = optimizeTemporal(Info, Arch, Options.Temporal);
-    Result.TemporalMillis = Phase.elapsedMillis();
-    applyTemporalSchedule(F, ComputeStage, Result.Temporal, Info);
-    // Give the init stage of a reduction the plain treatment so zeroing
-    // the output does not dominate at large problem sizes.
-    if (ComputeStage >= 0) {
-      StageAccessInfo PureInfo = analyzeStage(F, -1, OutputExtents);
-      applyParVec(F, -1, PureInfo, Arch);
-    }
-    Result.Description = std::string("temporal: ") +
-                         describeTemporalSchedule(Result.Temporal);
-    break;
-  }
-  case StatementClass::SpatialReuse: {
-    if (Info.Loops.size() == 2) {
-      Timer Phase;
-      Result.Spatial =
-          optimizeSpatial(Info, Result.Class, Arch, Options.Temporal.Score);
-      Result.SpatialMillis = Phase.elapsedMillis();
-      applySpatialSchedule(F, ComputeStage, Result.Spatial);
-      Result.Description =
-          std::string("spatial: ") + describeSpatialSchedule(Result.Spatial);
-    } else {
-      // The spatial model covers 2-D statements; higher-rank transposed
-      // statements fall back to the plain treatment.
-      applyParVec(F, ComputeStage, Info, Arch);
-      Result.Description = "spatial(fallback): parallel+vectorize";
-    }
-    break;
-  }
-  case StatementClass::NoTransform: {
-    applyParVec(F, ComputeStage, Info, Arch);
-    Result.Description = Result.Class.IsStencil
-                             ? "no-transform(stencil): parallel+vectorize"
-                             : "no-transform: parallel+vectorize";
-    break;
-  }
-  }
-
-  if (WantNTI) {
-    F.storeNonTemporal();
-    Result.AppliedNonTemporal = true;
-    Result.Description += " +NTI";
-  }
+  Result.Class = Plan.Class;
+  Result.Temporal = Plan.Temporal;
+  Result.Spatial = Plan.Spatial;
+  Result.AppliedNonTemporal = Plan.NonTemporalOutput;
+  Result.Description = Plan.Description;
+  Result.ClassifyMillis = Plan.ClassifyMillis;
+  Result.TemporalMillis = Plan.TemporalMillis;
+  Result.SpatialMillis = Plan.SpatialMillis;
 
   // Post-condition: every schedule the optimizer emits must pass the
   // static verifier. A failure here is an optimizer bug, not user error.
 #ifndef NDEBUG
+  int ComputeStage = computeStageIndex(F);
   std::vector<int> ScheduledStages = {ComputeStage};
   if (ComputeStage >= 0)
     ScheduledStages.push_back(-1); // the init stage scheduled above
@@ -122,7 +177,6 @@ OptimizationResult ltp::optimize(Func &F,
   }
 #endif
 
-  obs::endDecision(Result.Description);
   Result.RuntimeMillis = T.elapsedMillis();
   return Result;
 }

@@ -12,6 +12,16 @@
 /// reuse and the target supports streaming stores — to the Func's compute
 /// stage.
 ///
+/// The flow is split into a *pure planning* step and an *apply* step so
+/// stateless services (tools/ltp-serve) can compute a plan once from a
+/// const Func and apply it to any number of per-session instances:
+///
+///   StagePlan Plan = planStage(F, Extents, Arch);   // no mutation
+///   applyPlan(F, Plan);                             // directives only
+///
+/// `optimize()` remains the one-call wrapper (clear + plan + apply +
+/// debug-verify) used by the benches and tests.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LTP_CORE_OPTIMIZER_H
@@ -37,6 +47,49 @@ struct OptimizerOptions {
   bool EnableNonTemporal = true;
 };
 
+/// Plain parallelize/vectorize treatment chosen for one stage: the
+/// directives applyPlan will issue, not a search result.
+struct ParVecPlan {
+  /// Outermost pure loop to parallelize ("" = none).
+  std::string ParallelVar;
+  /// Innermost loop to vectorize ("" = none).
+  std::string VectorVar;
+};
+
+/// A fully decided schedule for one Func, produced by planStage without
+/// mutating anything. Contains everything applyPlan needs, so a plan can
+/// be computed once and replayed onto per-session copies of the Func.
+struct StagePlan {
+  /// How the compute stage is scheduled.
+  enum class Mode {
+    Temporal, ///< Algorithm 2 schedule in Temporal.
+    Spatial,  ///< Algorithm 3 schedule in Spatial.
+    ParVec,   ///< Plain treatment in ComputeParVec (no-transform and the
+              ///< >2-D spatial fallback).
+  };
+
+  Classification Class;
+  Mode Kind = Mode::ParVec;
+  TemporalSchedule Temporal;
+  SpatialSchedule Spatial;
+  ParVecPlan ComputeParVec;
+  /// Reduction init-stage treatment (valid when HasInitStage).
+  ParVecPlan InitParVec;
+  bool HasInitStage = false;
+  /// Mark the output store non-temporal.
+  bool NonTemporalOutput = false;
+  /// The analyzed compute stage (applyTemporalSchedule consumes it).
+  StageAccessInfo Info;
+  /// Human-readable schedule summary.
+  std::string Description;
+  /// Phase breakdown (Table 5's --json report): analysis+classification,
+  /// then the search phase that ran (at most one of temporal/spatial is
+  /// non-zero).
+  double ClassifyMillis = 0.0;
+  double TemporalMillis = 0.0;
+  double SpatialMillis = 0.0;
+};
+
 /// Outcome of optimizing one Func.
 struct OptimizationResult {
   Classification Class;
@@ -57,6 +110,19 @@ struct OptimizationResult {
   double TemporalMillis = 0.0;
   double SpatialMillis = 0.0;
 };
+
+/// Classifies the compute stage of \p F and runs the matching search,
+/// without touching \p F. The stage is analyzed as defined (any existing
+/// scheduling directives are ignored — callers replaying plans onto
+/// scheduled Funcs must clearSchedules() before applyPlan).
+StagePlan planStage(const Func &F, const std::vector<int64_t> &OutputExtents,
+                    const ArchParams &Arch,
+                    const OptimizerOptions &Options = {});
+
+/// Applies \p Plan to \p F as scheduling directives. \p F must be
+/// schedule-free (clearSchedules) and structurally identical to the Func
+/// the plan was computed from.
+void applyPlan(Func &F, const StagePlan &Plan);
 
 /// Classifies and schedules the compute stage of \p F (in place). The
 /// pure init stage of reductions receives the matching parallel/vectorize

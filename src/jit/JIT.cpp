@@ -78,12 +78,18 @@ bool fileExists(const std::string &Path) {
 /// Registry counters mirroring the per-compiler statistics so every
 /// bench prints one consistent telemetry footer (and traces carry the
 /// totals). Handles are cached; the registry lookup happens once.
+/// `jit.memo.{hit,miss}` split every memo-map probe so serving-path hit
+/// rates are observable without differencing other counters.
 obs::Counter &ccInvocationsCounter() {
   static obs::Counter &C = obs::counter("jit.cc_invocations");
   return C;
 }
 obs::Counter &memoHitsCounter() {
-  static obs::Counter &C = obs::counter("jit.memo_hits");
+  static obs::Counter &C = obs::counter("jit.memo.hit");
+  return C;
+}
+obs::Counter &memoMissesCounter() {
+  static obs::Counter &C = obs::counter("jit.memo.miss");
   return C;
 }
 obs::Counter &diskHitsCounter() {
@@ -118,6 +124,11 @@ void CompiledKernel::runRaw(const std::vector<void *> &BufferPointers) const {
          "buffer count does not match the kernel signature");
   LtpJitRuntime Rt{hostParallelFor};
   reinterpret_cast<KernelFn>(Mod->Entry)(BufferPointers.data(), &Rt);
+}
+
+const std::string &CompiledKernel::sharedObjectPath() const {
+  static const std::string Empty;
+  return Mod ? Mod->SharedObjectPath : Empty;
 }
 
 void CompiledKernel::run(
@@ -284,6 +295,17 @@ JITCompiler::Build JITCompiler::buildModule(const std::string &Flags,
   return B;
 }
 
+JITCompiler::MemoShard &JITCompiler::shardFor(const std::string &Key) {
+  // FNV-1a over the key; any stable distribution works, the shards only
+  // spread lock contention.
+  uint64_t H = 1469598103934665603ULL;
+  for (unsigned char C : Key) {
+    H ^= C;
+    H *= 1099511628211ULL;
+  }
+  return MemoShards[H % NumMemoShards];
+}
+
 ErrorOr<CompiledKernel>
 JITCompiler::compile(const ir::StmtPtr &S,
                      const std::vector<BufferBinding> &Signature,
@@ -296,10 +318,11 @@ JITCompiler::compile(const ir::StmtPtr &S,
   // Memoize on (flags, source): revisited schedules reuse the loaded
   // module instead of paying another cc + dlopen round-trip.
   std::string Key = Flags + '\n' + Source;
+  MemoShard &Shard = shardFor(Key);
   {
-    std::lock_guard<std::mutex> Lock(CacheMutex);
-    auto Cached = Cache.find(Key);
-    if (Cached != Cache.end()) {
+    std::lock_guard<std::mutex> Lock(Shard.Mu);
+    auto Cached = Shard.Map.find(Key);
+    if (Cached != Shard.Map.end()) {
       ++CacheHits;
       memoHitsCounter().add();
       CompiledKernel Kernel;
@@ -309,6 +332,7 @@ JITCompiler::compile(const ir::StmtPtr &S,
       return Kernel;
     }
   }
+  memoMissesCounter().add();
 
   Build B = buildModule(Flags, Source, KernelName);
   if (!B.Error.empty())
@@ -316,8 +340,8 @@ JITCompiler::compile(const ir::StmtPtr &S,
 
   std::shared_ptr<const CompiledKernel::Module> Mod;
   {
-    std::lock_guard<std::mutex> Lock(CacheMutex);
-    auto [It, Inserted] = Cache.emplace(std::move(Key), B.Mod);
+    std::lock_guard<std::mutex> Lock(Shard.Mu);
+    auto [It, Inserted] = Shard.Map.emplace(std::move(Key), B.Mod);
     Mod = It->second;
     if (Inserted) {
       if (B.RanCompiler) {
@@ -361,18 +385,26 @@ JITCompiler::compileMany(const std::vector<CompileJob> &Jobs) {
   }
 
   // The first job of each key not already memoized builds the module;
-  // every other job is a memo hit by construction.
+  // every other job is a memo hit by construction. Keys are probed per
+  // shard; a key's shard is stable, so a concurrent compile() of the
+  // same key either lands before the probe (we see it, memo hit) or
+  // races the final insert (emplace keeps one module, the duplicate is
+  // dropped and counted as a hit, same as the serial path).
   std::vector<size_t> Cold;
   std::set<size_t> ColdSet;
   {
-    std::lock_guard<std::mutex> Lock(CacheMutex);
     std::set<std::string> Seen;
-    for (size_t I = 0; I != Preps.size(); ++I)
-      if (!Cache.count(Preps[I].Key) && Seen.insert(Preps[I].Key).second) {
+    for (size_t I = 0; I != Preps.size(); ++I) {
+      MemoShard &Shard = shardFor(Preps[I].Key);
+      std::lock_guard<std::mutex> Lock(Shard.Mu);
+      if (!Shard.Map.count(Preps[I].Key) &&
+          Seen.insert(Preps[I].Key).second) {
         Cold.push_back(I);
         ColdSet.insert(I);
       }
+    }
   }
+  memoMissesCounter().add(static_cast<int64_t>(Cold.size()));
 
   if (Span.active())
     Span.setArgs(strFormat("jobs=%zu cold=%zu", Jobs.size(), Cold.size()));
@@ -391,24 +423,23 @@ JITCompiler::compileMany(const std::vector<CompileJob> &Jobs) {
       });
 
   std::map<std::string, std::string> Failed;
-  {
-    std::lock_guard<std::mutex> Lock(CacheMutex);
-    for (size_t I = 0; I != Cold.size(); ++I) {
-      Build &B = Builds[I];
-      const std::string &Key = Preps[Cold[I]].Key;
-      if (!B.Error.empty()) {
-        Failed.emplace(Key, B.Error);
-        continue;
-      }
-      Cache.emplace(Key, B.Mod);
-      if (B.RanCompiler) {
-        ++CompileCount;
-        ccInvocationsCounter().add();
-      }
-      if (B.DiskHit) {
-        ++DiskHits;
-        diskHitsCounter().add();
-      }
+  for (size_t I = 0; I != Cold.size(); ++I) {
+    Build &B = Builds[I];
+    const std::string &Key = Preps[Cold[I]].Key;
+    if (!B.Error.empty()) {
+      Failed.emplace(Key, B.Error);
+      continue;
+    }
+    MemoShard &Shard = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(Shard.Mu);
+    Shard.Map.emplace(Key, B.Mod);
+    if (B.RanCompiler) {
+      ++CompileCount;
+      ccInvocationsCounter().add();
+    }
+    if (B.DiskHit) {
+      ++DiskHits;
+      diskHitsCounter().add();
     }
   }
 
@@ -420,9 +451,10 @@ JITCompiler::compileMany(const std::vector<CompileJob> &Jobs) {
       Results.push_back(ErrorOr<CompiledKernel>::makeError(FIt->second));
       continue;
     }
-    std::lock_guard<std::mutex> Lock(CacheMutex);
-    auto It = Cache.find(Preps[I].Key);
-    assert(It != Cache.end() && "batch module missing from the cache");
+    MemoShard &Shard = shardFor(Preps[I].Key);
+    std::lock_guard<std::mutex> Lock(Shard.Mu);
+    auto It = Shard.Map.find(Preps[I].Key);
+    assert(It != Shard.Map.end() && "batch module missing from the cache");
     if (!ColdSet.count(I)) {
       ++CacheHits;
       memoHitsCounter().add();

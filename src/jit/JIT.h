@@ -33,6 +33,8 @@
 #include "runtime/Buffer.h"
 #include "support/ErrorOr.h"
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -65,6 +67,12 @@ public:
 
   /// The generated C source (useful for inspection and golden tests).
   const std::string &source() const { return Source; }
+
+  /// Path of the loaded shared object. For disk-cache residents this is
+  /// the content-addressed `.so` in the kernel store, valid across
+  /// processes for as long as the cache entry survives (tools/ltp-serve
+  /// hands it to clients for dlopen). Empty only for moved-from kernels.
+  const std::string &sharedObjectPath() const;
 
 private:
   friend class JITCompiler;
@@ -122,13 +130,13 @@ public:
   /// Number of actual compiler invocations that succeeded (cache hits
   /// excluded; used by autotuner statistics and the warm-cache check in
   /// the benchmark harnesses).
-  int compileCount() const { return CompileCount; }
+  int compileCount() const { return CompileCount.load(); }
 
   /// Number of compile() calls served from the in-process memo cache.
-  int cacheHitCount() const { return CacheHits; }
+  int cacheHitCount() const { return CacheHits.load(); }
 
   /// Number of modules loaded from the on-disk cache (no cc invocation).
-  int diskHitCount() const { return DiskHits; }
+  int diskHitCount() const { return DiskHits.load(); }
 
   /// Overrides the LTP_JIT_DISK_CACHE environment setting; tests use
   /// this to pin counter expectations regardless of prior cache state.
@@ -164,15 +172,31 @@ private:
                           const std::string &Source,
                           const std::string &SoPath, int Id);
 
+  /// One shard of the in-process memo map. The map is sharded by key
+  /// hash so concurrent serving sessions compiling unrelated kernels do
+  /// not serialize on a single mutex; a key's shard is stable, so the
+  /// per-key lookup/insert protocol is unchanged. Concurrent builders of
+  /// the *same* key are further serialized by the disk cache's file lock
+  /// (one cc run; the losers load the winner's `.so` as a disk hit).
+  struct MemoShard {
+    std::mutex Mu;
+    std::map<std::string, std::shared_ptr<const CompiledKernel::Module>>
+        Map;
+  };
+  static constexpr size_t NumMemoShards = 16;
+
+  MemoShard &shardFor(const std::string &Key);
+
   std::string Compiler;
   std::string WorkDir;
   std::string CacheDirPath;
   bool DiskCacheEnabled = true;
-  int CompileCount = 0;
-  int CacheHits = 0;
-  int DiskHits = 0;
-  std::mutex CacheMutex;
-  std::map<std::string, std::shared_ptr<const CompiledKernel::Module>> Cache;
+  /// Statistics are atomics (not shard-lock-protected) so hit/miss
+  /// accounting from concurrent sessions never contends on the maps.
+  std::atomic<int> CompileCount{0};
+  std::atomic<int> CacheHits{0};
+  std::atomic<int> DiskHits{0};
+  std::array<MemoShard, NumMemoShards> MemoShards;
 };
 
 /// Returns true when JIT compilation is expected to work on this host.

@@ -1,0 +1,70 @@
+//===- BatchCompiler.h - cross-request async compile batching ---*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Funnels the compile jobs of concurrent serve sessions into batched
+/// `JITCompiler::compileMany` calls: sessions enqueue their jobs with a
+/// future and continue blocking only on their own result, while a single
+/// drainer thread repeatedly swallows *everything* pending and issues one
+/// compileMany for the union. Requests that arrive while a batch is in
+/// the compiler coalesce into the next batch, so a burst of N sessions
+/// costs a handful of compileMany calls (each fanning cold builds across
+/// the process thread pool) instead of N serialized compiles.
+///
+/// Telemetry: `serve.queue_depth` (gauge: batches waiting when the
+/// drainer last looked), `serve.batch.flushes`, `serve.batch.jobs`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_SERVE_BATCHCOMPILER_H
+#define LTP_SERVE_BATCHCOMPILER_H
+
+#include "jit/JIT.h"
+
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ltp {
+namespace serve {
+
+/// See file comment. Thread-safe; owns its drainer thread.
+class BatchCompiler {
+public:
+  using BatchResult = std::vector<ErrorOr<CompiledKernel>>;
+
+  explicit BatchCompiler(JITCompiler &Compiler);
+  ~BatchCompiler();
+
+  BatchCompiler(const BatchCompiler &) = delete;
+  BatchCompiler &operator=(const BatchCompiler &) = delete;
+
+  /// Enqueues \p Jobs as one batch; the future resolves with results in
+  /// job order once the drainer's compileMany containing them returns.
+  std::future<BatchResult> submit(std::vector<CompileJob> Jobs);
+
+private:
+  struct Pending {
+    std::vector<CompileJob> Jobs;
+    std::promise<BatchResult> Result;
+  };
+
+  void drainLoop();
+
+  JITCompiler &Compiler;
+  std::mutex Mu;
+  std::condition_variable HasWork;
+  std::vector<Pending> Queue;
+  bool Stopping = false;
+  std::thread Drainer;
+};
+
+} // namespace serve
+} // namespace ltp
+
+#endif // LTP_SERVE_BATCHCOMPILER_H

@@ -1,0 +1,271 @@
+//===- OptimizerService.cpp - stateless optimization-as-a-service ---------===//
+
+#include "serve/OptimizerService.h"
+
+#include "benchmarks/PipelineRunner.h"
+#include "core/Classifier.h"
+#include "lang/Bounds.h"
+#include "lang/ScheduleText.h"
+#include "obs/Telemetry.h"
+#include "serve/Session.h"
+
+#include <chrono>
+
+using namespace ltp;
+using namespace ltp::serve;
+
+namespace {
+
+obs::Counter &requestsCounter() {
+  static obs::Counter &C = obs::counter("serve.requests");
+  return C;
+}
+obs::Counter &dedupHitCounter() {
+  static obs::Counter &C = obs::counter("serve.dedup_hit");
+  return C;
+}
+obs::Counter &dedupMissCounter() {
+  static obs::Counter &C = obs::counter("serve.dedup_miss");
+  return C;
+}
+obs::Counter &dedupInflightCounter() {
+  static obs::Counter &C = obs::counter("serve.dedup_inflight");
+  return C;
+}
+obs::Counter &dedupCachedCounter() {
+  static obs::Counter &C = obs::counter("serve.dedup_cached");
+  return C;
+}
+obs::Counter &errorsCounter() {
+  static obs::Counter &C = obs::counter("serve.errors");
+  return C;
+}
+
+double millisSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// Compute-stage index of \p F (last update for reductions, -1 = pure).
+int scheduleStageIndex(const Func &F) {
+  return F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+}
+
+Response badRequest(const Request &Req, const std::string &Error) {
+  Response R;
+  R.Ok = false;
+  R.Id = Req.Id;
+  R.Kind = ErrorKind::BadRequest;
+  R.Error = Error;
+  errorsCounter().add();
+  return R;
+}
+
+} // namespace
+
+OptimizerService::OptimizerService(ServiceOptions Opts)
+    : Opts(std::move(Opts)), Batcher(Compiler) {}
+
+OptimizerService::~OptimizerService() = default;
+
+size_t OptimizerService::dedupTableSize() {
+  std::lock_guard<std::mutex> Lock(TableMu);
+  return Table.size();
+}
+
+Response OptimizerService::handle(const Request &Req) {
+  obs::ScopedSpan Span("serve.request",
+                       [&] { return Req.Kernel; });
+  requestsCounter().add();
+
+  if (Req.Op != "optimize")
+    return badRequest(Req, "op '" + Req.Op + "' is not servable here");
+
+  // Normalize the request against daemon-wide policy before keying, so
+  // the dedup table never splits on fields the policy overrides.
+  Request EReq = Req;
+  if (!Opts.ForceScoreMode.empty())
+    EReq.ScoreModeText = Opts.ForceScoreMode;
+  if (Opts.DisableCompile)
+    EReq.Compile = false;
+
+  model::ScoreMode Mode = model::ScoreMode::Auto;
+  if (!model::parseScoreMode(EReq.ScoreModeText.c_str(), Mode))
+    return badRequest(Req, "bad score_mode '" + EReq.ScoreModeText +
+                               "' (want analytic|sim|auto)");
+  if (!findBenchmark(EReq.Kernel))
+    return badRequest(Req, "unknown kernel '" + EReq.Kernel + "'");
+
+  ErrorOr<ArchParams> Arch = resolveArch(EReq);
+  if (!Arch)
+    return badRequest(Req, Arch.getError());
+
+  // Size participates in the key post-normalization: an explicit size
+  // equal to the default dedups with a defaulted request.
+  if (EReq.Size == 0)
+    EReq.Size = findBenchmark(EReq.Kernel)->DefaultSize;
+
+  const std::string Key = canonicalKey(EReq, *Arch);
+
+  std::shared_ptr<Entry> E;
+  bool Owner = false;
+  {
+    std::lock_guard<std::mutex> Lock(TableMu);
+    std::shared_ptr<Entry> &Slot = Table[Key];
+    if (!Slot) {
+      Slot = std::make_shared<Entry>();
+      Owner = true;
+    }
+    E = Slot;
+  }
+
+  if (Owner) {
+    dedupMissCounter().add();
+    Response R = runSession(EReq, *Arch, Key);
+    if (!R.Ok)
+      errorsCounter().add();
+    {
+      std::lock_guard<std::mutex> Lock(E->Mu);
+      E->Template = R;
+      E->Done = true;
+    }
+    E->Ready.notify_all();
+    R.Id = Req.Id;
+    R.Dedup = DedupOutcome::Miss;
+    return R;
+  }
+
+  // Duplicate: piggyback on the owner. Errors are published too — the
+  // pipeline is deterministic, so re-running an illegal schedule for
+  // every duplicate would only burn optimizer time to fail identically.
+  DedupOutcome Outcome;
+  Response R;
+  {
+    std::unique_lock<std::mutex> Lock(E->Mu);
+    Outcome = E->Done ? DedupOutcome::Cached : DedupOutcome::Inflight;
+    E->Ready.wait(Lock, [&] { return E->Done; });
+    R = E->Template;
+  }
+  dedupHitCounter().add();
+  (Outcome == DedupOutcome::Cached ? dedupCachedCounter()
+                                   : dedupInflightCounter())
+      .add();
+  if (!R.Ok)
+    errorsCounter().add();
+  R.Id = Req.Id;
+  R.Dedup = Outcome;
+  return R;
+}
+
+Response OptimizerService::runSession(const Request &Req,
+                                      const ArchParams &Arch,
+                                      const std::string &Key) {
+  Session Sess;
+  Sess.Req = Req;
+  Sess.Arch = Arch;
+  model::parseScoreMode(Req.ScoreModeText.c_str(), Sess.Mode);
+  Sess.Resp.Kernel = Req.Kernel;
+  Sess.Resp.KeyHash = keyHash(Key);
+
+  const BenchmarkDef *Def = findBenchmark(Req.Kernel);
+  Sess.Instance = Def->Create(Req.Size);
+
+  auto OptStart = std::chrono::steady_clock::now();
+  if (!scheduleSession(Sess)) {
+    Sess.Resp.OptMillis = millisSince(OptStart);
+    return Sess.Resp;
+  }
+  Sess.Resp.OptMillis = millisSince(OptStart);
+
+  if (Req.Compile && !compileSession(Sess))
+    return Sess.Resp;
+
+  Sess.Resp.Ok = true;
+  return Sess.Resp;
+}
+
+bool OptimizerService::scheduleSession(Session &Sess) {
+  Response &R = Sess.Resp;
+  if (!Sess.Req.Schedule.empty()) {
+    // Replay the client's schedule (verified) on the compute stage of
+    // the last pipeline stage, mirroring `ltp-opt --schedule`.
+    Func &F = Sess.Instance.Stages.back();
+    F.clearSchedules();
+    int Stage = scheduleStageIndex(F);
+    auto Applied = applyVerifiedScheduleText(
+        F, Stage, Sess.Req.Schedule, Sess.Instance.StageExtents.back());
+    if (!Applied) {
+      R.Kind = ErrorKind::IllegalSchedule;
+      R.Error = Applied.getError();
+      return false;
+    }
+    R.Schedule = printSchedule(F, Stage);
+    R.Description = "user schedule (verified)";
+    return true;
+  }
+
+  OptimizerOptions Options;
+  Options.EnableNonTemporal = Sess.Req.EnableNTI;
+  Options.Temporal.Score = Sess.Mode;
+  for (size_t S = 0; S != Sess.Instance.Stages.size(); ++S)
+    Sess.StageResults.push_back(optimize(Sess.Instance.Stages[S],
+                                         Sess.Instance.StageExtents[S],
+                                         Sess.Arch, Options));
+
+  const OptimizationResult &Last = Sess.StageResults.back();
+  R.Class = statementClassName(Last.Class.Kind);
+  R.Description = Last.Description;
+  R.Schedule = printSchedule(Sess.Instance.Stages.back(),
+                             scheduleStageIndex(Sess.Instance.Stages.back()));
+  return true;
+}
+
+bool OptimizerService::compileSession(Session &Sess) {
+  Response &R = Sess.Resp;
+  if (!jitAvailable()) {
+    R.Kind = ErrorKind::Internal;
+    R.Error = "no host C compiler available for kernel compilation";
+    return false;
+  }
+
+  Sess.Lowered = lowerPipeline(Sess.Instance);
+  for (const ir::StmtPtr &S : Sess.Lowered) {
+    std::string Diag = validateAccesses(S, Sess.Instance.Buffers);
+    if (!Diag.empty()) {
+      R.Kind = ErrorKind::Internal;
+      R.Error = "schedule accesses out of bounds: " + Diag;
+      return false;
+    }
+  }
+
+  std::vector<BufferBinding> Signature;
+  for (const auto &[Name, Ref] : Sess.Instance.Buffers)
+    Signature.push_back(BufferBinding::fromRef(Name, Ref));
+
+  CodeGenOptions CG;
+  CG.EnableNonTemporal = Sess.Req.EnableNTI;
+
+  std::vector<CompileJob> Jobs;
+  Jobs.reserve(Sess.Lowered.size());
+  for (const ir::StmtPtr &S : Sess.Lowered)
+    Jobs.push_back(CompileJob{S, Signature, CG});
+
+  auto CompileStart = std::chrono::steady_clock::now();
+  BatchCompiler::BatchResult Results = Batcher.submit(std::move(Jobs)).get();
+  R.CompileMillis = millisSince(CompileStart);
+
+  for (ErrorOr<CompiledKernel> &K : Results) {
+    if (!K) {
+      R.Kind = ErrorKind::Internal;
+      R.Error = "kernel compilation failed: " + K.getError();
+      R.SoPaths.clear();
+      return false;
+    }
+    // The path stays valid for the daemon's lifetime: the JIT memo
+    // shard retains the loaded module, so even non-disk-cache modules
+    // are not unlinked while the service lives.
+    R.SoPaths.push_back(K->sharedObjectPath());
+  }
+  return true;
+}

@@ -1,0 +1,54 @@
+//===- Session.h - per-request optimization session -------------*- C++ -*-===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// All state materialized for one serve request that missed the dedup
+/// table: the benchmark instance (buffers, stages), the plans chosen for
+/// each stage, the lowered statements, and the response under
+/// construction. The OptimizerService itself is stateless across
+/// requests apart from its caches — everything mutable during an
+/// optimization lives here, so concurrent sessions never share Funcs or
+/// buffers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LTP_SERVE_SESSION_H
+#define LTP_SERVE_SESSION_H
+
+#include "arch/ArchParams.h"
+#include "benchmarks/Benchmarks.h"
+#include "core/Optimizer.h"
+#include "model/ScoreMode.h"
+#include "serve/Protocol.h"
+
+#include <vector>
+
+namespace ltp {
+namespace serve {
+
+/// Per-request mutable state (see file comment). Created by the service
+/// on a dedup miss, destroyed when the response template is published;
+/// only the Response survives into the result cache.
+struct Session {
+  Request Req;
+  ArchParams Arch;
+  model::ScoreMode Mode = model::ScoreMode::Auto;
+  /// The session's own kernel instance; stages are scheduled in place.
+  BenchmarkInstance Instance;
+  /// One optimizer result per stage (empty when replaying a user
+  /// schedule).
+  std::vector<OptimizationResult> StageResults;
+  /// Lowered statements, one per stage (filled when compiling).
+  std::vector<ir::StmtPtr> Lowered;
+  /// The response template being built (Id/Dedup filled per request by
+  /// the service).
+  Response Resp;
+};
+
+} // namespace serve
+} // namespace ltp
+
+#endif // LTP_SERVE_SESSION_H

@@ -1,0 +1,393 @@
+//===- ServeTest.cpp - optimization-service and protocol tests -------------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+// Covers the serving stack bottom-up: wire-protocol parsing and
+// canonicalization, the plan/apply split the stateless service is built
+// on, request deduplication under concurrency, error caching, and a full
+// client/daemon round-trip over a real Unix-domain socket.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/ArchFile.h"
+#include "benchmarks/Benchmarks.h"
+#include "benchmarks/PipelineRunner.h"
+#include "core/Optimizer.h"
+#include "lang/ScheduleText.h"
+#include "obs/Telemetry.h"
+#include "serve/OptimizerService.h"
+#include "serve/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace ltp;
+using namespace ltp::serve;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, ParsesFullRequestAndDefaults) {
+  auto Req = parseRequest(
+      "{\"op\": \"optimize\", \"kernel\": \"matmul\", \"size\": 64, "
+      "\"arch\": \"6700\", \"score_mode\": \"analytic\", \"nti\": false, "
+      "\"compile\": false, \"id\": \"r1\"}");
+  ASSERT_TRUE(static_cast<bool>(Req)) << Req.getError();
+  EXPECT_EQ(Req->Kernel, "matmul");
+  EXPECT_EQ(Req->Size, 64);
+  EXPECT_EQ(Req->ArchName, "6700");
+  EXPECT_EQ(Req->ScoreModeText, "analytic");
+  EXPECT_FALSE(Req->EnableNTI);
+  EXPECT_FALSE(Req->Compile);
+  EXPECT_EQ(Req->Id, "r1");
+
+  auto Minimal = parseRequest("{\"kernel\": \"copy\"}");
+  ASSERT_TRUE(static_cast<bool>(Minimal));
+  EXPECT_EQ(Minimal->Op, "optimize"); // default op
+  EXPECT_EQ(Minimal->Size, 0);
+  EXPECT_TRUE(Minimal->EnableNTI);
+  EXPECT_TRUE(Minimal->Compile);
+}
+
+TEST(ServeProtocol, RejectsBadInput) {
+  EXPECT_FALSE(static_cast<bool>(parseRequest("not json")));
+  EXPECT_FALSE(static_cast<bool>(parseRequest("[1, 2]")));
+  // Unknown fields are most likely typos; reject instead of ignoring.
+  EXPECT_FALSE(static_cast<bool>(
+      parseRequest("{\"kernel\": \"copy\", \"siez\": 64}")));
+  // Fractional sizes are client bugs, not values to round.
+  EXPECT_FALSE(static_cast<bool>(
+      parseRequest("{\"kernel\": \"copy\", \"size\": 3.5}")));
+  EXPECT_FALSE(
+      static_cast<bool>(parseRequest("{\"op\": \"optimize\"}"))); // no kernel
+  EXPECT_FALSE(static_cast<bool>(parseRequest("{\"op\": \"frobnicate\"}")));
+}
+
+TEST(ServeProtocol, CanonicalKeyUnifiesEquivalentPlatforms) {
+  Request Named;
+  Named.Kernel = "matmul";
+  Named.Size = 64;
+  Named.ArchName = "6700";
+  auto NamedArch = resolveArch(Named);
+  ASSERT_TRUE(static_cast<bool>(NamedArch));
+
+  // The same platform supplied inline as arch_text must land on the same
+  // dedup key: the key renders the *resolved* parameters, not the spelling.
+  Request Inline = Named;
+  Inline.ArchName.clear();
+  Inline.ArchText = archParamsToText(*NamedArch);
+  auto InlineArch = resolveArch(Inline);
+  ASSERT_TRUE(static_cast<bool>(InlineArch));
+  EXPECT_EQ(canonicalKey(Named, *NamedArch), canonicalKey(Inline, *InlineArch));
+
+  // Any semantically significant field splits the key.
+  Request Other = Named;
+  Other.Size = 128;
+  EXPECT_NE(canonicalKey(Named, *NamedArch), canonicalKey(Other, *NamedArch));
+  Other = Named;
+  Other.EnableNTI = false;
+  EXPECT_NE(canonicalKey(Named, *NamedArch), canonicalKey(Other, *NamedArch));
+  auto A15 = resolveArch([] {
+    Request R;
+    R.ArchName = "a15";
+    return R;
+  }());
+  ASSERT_TRUE(static_cast<bool>(A15));
+  EXPECT_NE(canonicalKey(Named, *NamedArch), canonicalKey(Named, *A15));
+}
+
+//===----------------------------------------------------------------------===//
+// Plan/apply split (the refactor the stateless service rides on)
+//===----------------------------------------------------------------------===//
+
+// planStage followed by applyPlan must produce exactly the schedule that
+// the monolithic optimize() produces — the serving path and the CLI path
+// may never drift apart.
+TEST(ServePlanApply, MatchesMonolithicOptimize) {
+  const ArchParams Arch = intelI7_6700();
+  for (const char *Name : {"matmul", "tp", "copy", "doitgen"}) {
+    const BenchmarkDef *Def = findBenchmark(Name);
+    ASSERT_NE(Def, nullptr) << Name;
+    const int64_t Size = 48;
+    BenchmarkInstance ViaOptimize = Def->Create(Size);
+    BenchmarkInstance ViaPlan = Def->Create(Size);
+
+    for (size_t S = 0; S != ViaOptimize.Stages.size(); ++S) {
+      OptimizationResult R = optimize(ViaOptimize.Stages[S],
+                                      ViaOptimize.StageExtents[S], Arch);
+      StagePlan Plan = planStage(ViaPlan.Stages[S],
+                                 ViaPlan.StageExtents[S], Arch);
+      applyPlan(ViaPlan.Stages[S], Plan);
+      EXPECT_EQ(Plan.Description, R.Description) << Name << " stage " << S;
+
+      const Func &A = ViaOptimize.Stages[S];
+      const Func &B = ViaPlan.Stages[S];
+      for (int U = -1; U != A.numUpdates(); ++U)
+        EXPECT_EQ(printSchedule(A, U), printSchedule(B, U))
+            << Name << " stage " << S << " update " << U;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// OptimizerService
+//===----------------------------------------------------------------------===//
+
+Request optimizeRequest(const std::string &Kernel, int64_t Size,
+                        bool Compile = false) {
+  Request Req;
+  Req.Kernel = Kernel;
+  Req.Size = Size;
+  Req.ArchName = "6700";
+  Req.Compile = Compile;
+  return Req;
+}
+
+TEST(ServeService, RejectsUnknownKernelAndBadMode) {
+  OptimizerService Service;
+  Request Req = optimizeRequest("frobnicate", 32);
+  Response R = Service.handle(Req);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, ErrorKind::BadRequest);
+
+  Req = optimizeRequest("copy", 32);
+  Req.ScoreModeText = "bogus";
+  R = Service.handle(Req);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, ErrorKind::BadRequest);
+  // Bad requests never enter the dedup table.
+  EXPECT_EQ(Service.dedupTableSize(), 0u);
+}
+
+TEST(ServeService, DeduplicatesConcurrentIdenticalRequests) {
+  OptimizerService Service;
+  const int64_t HitsBefore = obs::counter("serve.dedup_hit").value();
+  const int64_t MissBefore = obs::counter("serve.dedup_miss").value();
+
+  const Request Req = optimizeRequest("copy", 64);
+  constexpr int NumThreads = 8;
+  std::vector<Response> Responses(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back(
+        [&, T] { Responses[T] = Service.handle(Req); });
+  for (std::thread &T : Threads)
+    T.join();
+
+  int Misses = 0;
+  for (const Response &R : Responses) {
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.KeyHash, Responses[0].KeyHash);
+    EXPECT_EQ(R.Schedule, Responses[0].Schedule);
+    if (R.Dedup == DedupOutcome::Miss)
+      ++Misses;
+  }
+  EXPECT_EQ(Misses, 1); // exactly one thread ran the optimization
+  EXPECT_EQ(Service.dedupTableSize(), 1u);
+  EXPECT_EQ(obs::counter("serve.dedup_miss").value() - MissBefore, 1);
+  EXPECT_EQ(obs::counter("serve.dedup_hit").value() - HitsBefore,
+            NumThreads - 1);
+
+  // A later identical request is a warm cache hit.
+  Response Warm = Service.handle(Req);
+  EXPECT_TRUE(Warm.Ok);
+  EXPECT_EQ(Warm.Dedup, DedupOutcome::Cached);
+}
+
+TEST(ServeService, DefaultSizeDedupsWithExplicitDefault) {
+  OptimizerService Service;
+  const BenchmarkDef *Def = findBenchmark("copy");
+  ASSERT_NE(Def, nullptr);
+  Response A = Service.handle(optimizeRequest("copy", 0));
+  Response B = Service.handle(optimizeRequest("copy", Def->DefaultSize));
+  ASSERT_TRUE(A.Ok);
+  ASSERT_TRUE(B.Ok);
+  EXPECT_EQ(A.KeyHash, B.KeyHash);
+  EXPECT_EQ(B.Dedup, DedupOutcome::Cached);
+}
+
+TEST(ServeService, IllegalScheduleIsClassifiedAndCached) {
+  OptimizerService Service;
+  Request Req = optimizeRequest("matmul", 48);
+  Req.Schedule = "parallel(k)"; // races on the accumulator
+  Response R = Service.handle(Req);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, ErrorKind::IllegalSchedule);
+  EXPECT_NE(R.Error.find("parallel"), std::string::npos);
+
+  // Deterministic failures are cached like successes: the duplicate gets
+  // the verdict without re-running the verifier.
+  Response Again = Service.handle(Req);
+  EXPECT_FALSE(Again.Ok);
+  EXPECT_EQ(Again.Kind, ErrorKind::IllegalSchedule);
+  EXPECT_EQ(Again.Dedup, DedupOutcome::Cached);
+
+  Req.Schedule = "split(i"; // malformed, same classification
+  R = Service.handle(Req);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, ErrorKind::IllegalSchedule);
+}
+
+TEST(ServeService, CompileReturnsSharedStorePaths) {
+  if (!jitAvailable())
+    GTEST_SKIP() << "no host C compiler available";
+  OptimizerService Service;
+  Request Req = optimizeRequest("copy", 64, /*Compile=*/true);
+  Response A = Service.handle(Req);
+  ASSERT_TRUE(A.Ok) << A.Error;
+  ASSERT_FALSE(A.SoPaths.empty());
+  for (const std::string &Path : A.SoPaths)
+    EXPECT_EQ(::access(Path.c_str(), R_OK), 0) << Path;
+
+  // The duplicate points at the *same* artifacts — one compile total.
+  Response B = Service.handle(Req);
+  ASSERT_TRUE(B.Ok);
+  EXPECT_EQ(B.Dedup, DedupOutcome::Cached);
+  EXPECT_EQ(B.SoPaths, A.SoPaths);
+}
+
+//===----------------------------------------------------------------------===//
+// JIT memo hit/miss telemetry (the sharded map's observable contract)
+//===----------------------------------------------------------------------===//
+
+TEST(ServeService, JitMemoCounterSplit) {
+  if (!jitAvailable())
+    GTEST_SKIP() << "no host C compiler available";
+  // Compile the same pipeline twice through one compiler: the first pass
+  // misses the in-process memo, the repeat hits it — and the split is
+  // visible in the jit.memo.{hit,miss} counters the stats op exports.
+  JITCompiler Compiler;
+  Compiler.setDiskCacheEnabled(false); // pin expectations to the memo
+  BenchmarkInstance Instance = findBenchmark("copy")->Create(80);
+
+  const int64_t HitBefore = obs::counter("jit.memo.hit").value();
+  const int64_t MissBefore = obs::counter("jit.memo.miss").value();
+  auto Cold = compilePipeline(Instance, Compiler);
+  ASSERT_TRUE(static_cast<bool>(Cold)) << Cold.getError();
+  const int64_t ColdMisses =
+      obs::counter("jit.memo.miss").value() - MissBefore;
+  EXPECT_EQ(ColdMisses,
+            static_cast<int64_t>(Cold->Kernels.size()));
+  EXPECT_EQ(obs::counter("jit.memo.hit").value(), HitBefore);
+
+  auto Warm = compilePipeline(Instance, Compiler);
+  ASSERT_TRUE(static_cast<bool>(Warm));
+  EXPECT_EQ(obs::counter("jit.memo.hit").value() - HitBefore, ColdMisses);
+  EXPECT_EQ(obs::counter("jit.memo.miss").value() - MissBefore, ColdMisses);
+  EXPECT_EQ(Compiler.cacheHitCount(), static_cast<int>(ColdMisses));
+}
+
+//===----------------------------------------------------------------------===//
+// Server round-trip over a real socket
+//===----------------------------------------------------------------------===//
+
+class ClientConn {
+public:
+  explicit ClientConn(const std::string &Path) {
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd >= 0 &&
+        ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+            0) {
+      ::close(Fd);
+      Fd = -1;
+    }
+  }
+  ~ClientConn() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  bool ok() const { return Fd >= 0; }
+
+  std::string roundTrip(const std::string &Request) {
+    std::string Out = Request + "\n";
+    size_t Off = 0;
+    while (Off < Out.size()) {
+      ssize_t N = ::write(Fd, Out.data() + Off, Out.size() - Off);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        return "";
+      }
+      Off += static_cast<size_t>(N);
+    }
+    size_t Pos;
+    while ((Pos = Buffer.find('\n')) == std::string::npos) {
+      char Chunk[4096];
+      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        return "";
+      Buffer.append(Chunk, static_cast<size_t>(N));
+    }
+    std::string Line = Buffer.substr(0, Pos);
+    Buffer.erase(0, Pos + 1);
+    return Line;
+  }
+
+private:
+  int Fd = -1;
+  std::string Buffer;
+};
+
+TEST(ServeServer, SocketRoundTrip) {
+  std::string Path = "/tmp/ltp-serve-test-" +
+                     std::to_string(static_cast<long>(::getpid())) + ".sock";
+  Server Srv(Path);
+  std::string Error;
+  ASSERT_TRUE(Srv.start(&Error)) << Error;
+  std::thread Waiter([&] { Srv.wait(); });
+
+  {
+    ClientConn Conn(Path);
+    ASSERT_TRUE(Conn.ok());
+    EXPECT_NE(Conn.roundTrip("{\"op\": \"ping\"}").find("\"pong\": true"),
+              std::string::npos);
+
+    std::string R = Conn.roundTrip(
+        "{\"op\": \"optimize\", \"kernel\": \"copy\", \"size\": 64, "
+        "\"arch\": \"6700\", \"compile\": false, \"id\": \"t1\"}");
+    EXPECT_NE(R.find("\"ok\": true"), std::string::npos) << R;
+    EXPECT_NE(R.find("\"id\": \"t1\""), std::string::npos) << R;
+    EXPECT_NE(R.find("\"dedup\": \"miss\""), std::string::npos) << R;
+
+    // Same request on a *different* connection: served from the table.
+    ClientConn Conn2(Path);
+    ASSERT_TRUE(Conn2.ok());
+    std::string R2 = Conn2.roundTrip(
+        "{\"op\": \"optimize\", \"kernel\": \"copy\", \"size\": 64, "
+        "\"arch\": \"6700\", \"compile\": false}");
+    EXPECT_NE(R2.find("\"dedup\": \"cached\""), std::string::npos) << R2;
+
+    std::string Stats = Conn.roundTrip("{\"op\": \"stats\"}");
+    EXPECT_NE(Stats.find("\"serve.requests\""), std::string::npos) << Stats;
+    EXPECT_NE(Stats.find("\"serve.dedup_hit\""), std::string::npos) << Stats;
+
+    // Malformed line: an error response, connection stays usable.
+    EXPECT_NE(Conn.roundTrip("garbage").find("\"kind\": \"bad_request\""),
+              std::string::npos);
+    EXPECT_NE(Conn.roundTrip("{\"op\": \"ping\"}").find("\"pong\""),
+              std::string::npos);
+
+    EXPECT_NE(Conn.roundTrip("{\"op\": \"shutdown\"}").find("\"stopping\""),
+              std::string::npos);
+  }
+  Waiter.join();
+  EXPECT_NE(::access(Path.c_str(), F_OK), 0); // socket unlinked
+}
+
+} // namespace

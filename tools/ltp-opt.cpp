@@ -11,7 +11,12 @@
 //   ltp-opt <benchmark>|all [--arch 5930k|6700|a15|host] [--size N]
 //           [--schedule "<directives>"] [--emit-c] [--simulate]
 //           [--score-mode analytic|sim|auto] [--no-nti] [--run]
-//           [--verify] [--explain] [--trace-json FILE]
+//           [--compile] [--verify] [--explain] [--trace-json FILE]
+//
+// Exit codes: 0 success; 2 the schedule text was rejected (parse error or
+// legality verifier); 1 anything else (usage, unknown benchmark, missing
+// compiler, internal failure). Scripts dispatch on the distinction: 2
+// means "fix your schedule", 1 means "fix your invocation or the tool".
 //
 // Examples:
 //   ltp-opt matmul --size 2048 --arch 5930k
@@ -69,13 +74,23 @@ void printUsage() {
       "                               automatic fallback (default auto)\n"
       "  --no-nti                     disable non-temporal stores\n"
       "  --run                        JIT-compile and time the pipeline\n"
+      "  --compile                    JIT-compile the pipeline into the\n"
+      "                               shared kernel store (no timed runs)\n"
+      "                               and print the .so paths\n"
       "  --verify                     print each stage's dependence graph "
       "and per-directive legality verdicts\n"
       "  --explain                    log every candidate schedule the "
       "optimizer considered, with predicted misses and the accept/prune "
       "reason\n"
       "  --trace-json FILE            collect spans and write a "
-      "Chrome-trace/Perfetto JSON on exit\n");
+      "Chrome-trace/Perfetto JSON on exit\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  2  schedule rejected: --schedule text failed to parse or was\n"
+      "     refused by the legality verifier\n"
+      "  1  any other error (usage, unknown benchmark, missing compiler,\n"
+      "     internal failure)\n");
 }
 
 ArchParams pickArch(const std::string &Name) {
@@ -142,7 +157,7 @@ int processBenchmark(const BenchmarkDef *Def, const ArgParse &Args,
     if (!R) {
       std::fprintf(stderr, "error: bad schedule: %s\n",
                    R.getError().c_str());
-      return 1;
+      return 2; // distinct exit: the *schedule* is at fault, not the tool
     }
     std::printf("schedule (user): %s\n\n",
                 printSchedule(F, Stage).c_str());
@@ -252,6 +267,27 @@ int processBenchmark(const BenchmarkDef *Def, const ArgParse &Args,
     if (Instance.Work > 0)
       std::printf("  (%.2f Gop/s)", Instance.Work / Seconds * 1e-9);
     std::printf("\n");
+  }
+
+  if (Args.has("compile")) {
+    // The one-process-per-request baseline of bench/serve_load: produce a
+    // ready-to-dlopen kernel in the shared content-addressed store, skip
+    // the timed runs.
+    if (!jitAvailable()) {
+      std::fprintf(stderr, "error: no host C compiler for --compile\n");
+      return 1;
+    }
+    JITCompiler Compiler;
+    CodeGenOptions Options;
+    Options.EnableNonTemporal = !Args.has("no-nti");
+    auto Pipeline = compilePipeline(Instance, Compiler, Options);
+    if (!Pipeline) {
+      std::fprintf(stderr, "error: %s\n", Pipeline.getError().c_str());
+      return 1;
+    }
+    for (size_t S = 0; S != Pipeline->Kernels.size(); ++S)
+      std::printf("kernel so [%zu]: %s\n", S,
+                  Pipeline->Kernels[S].sharedObjectPath().c_str());
   }
   return 0;
 }

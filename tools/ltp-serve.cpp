@@ -1,0 +1,247 @@
+//===- ltp-serve.cpp - optimization-as-a-service daemon and client ---------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+// Daemon: long-running optimization service on a Unix-domain socket.
+// Identical requests — in flight or already served — share one
+// optimization and one kernel compile against the content-addressed
+// store, so a fleet of build jobs asking for the same (kernel, platform)
+// pays for it once.
+//
+//   ltp-serve --socket /tmp/ltp.sock
+//   ltp-serve --socket /tmp/ltp.sock --score-mode analytic --no-compile
+//
+// Client: one-shot requests against a running daemon (for scripts and CI;
+// anything speaking newline-delimited JSON over the socket works too).
+//
+//   ltp-serve --connect /tmp/ltp.sock --kernel matmul --arch 6700
+//   ltp-serve --connect /tmp/ltp.sock --kernel matmul \
+//             --schedule "split(i, it, ii, 32); parallel(it);"
+//   ltp-serve --connect /tmp/ltp.sock --request '{"op":"optimize",...}'
+//   ltp-serve --connect /tmp/ltp.sock --stats | --ping | --shutdown
+//
+// Client exit codes mirror ltp-opt: 0 success, 2 the daemon classified
+// the schedule illegal, 1 anything else (connect failure, bad request,
+// internal error).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+#include "support/ArgParse.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace ltp;
+using namespace ltp::serve;
+
+namespace {
+
+std::atomic<bool> SignalStop{false};
+
+void onSignal(int) { SignalStop.store(true); }
+
+void printUsage() {
+  std::printf(
+      "usage: ltp-serve --socket PATH [daemon options]\n"
+      "       ltp-serve --connect PATH [client options]\n"
+      "\n"
+      "daemon options:\n"
+      "  --socket PATH       listen on this Unix-domain socket\n"
+      "  --score-mode M      force analytic|sim|auto on every request\n"
+      "  --no-compile        serve schedules only, never compile kernels\n"
+      "\n"
+      "client options:\n"
+      "  --connect PATH      daemon socket to talk to\n"
+      "  --kernel NAME       optimize this benchmark kernel\n"
+      "  --size N            problem size (0 = kernel default)\n"
+      "  --arch NAME         5930k|6700|a15|host (default host)\n"
+      "  --schedule \"...\"    replay this schedule instead of optimizing\n"
+      "  --score-mode M      analytic|sim|auto\n"
+      "  --no-nti            disable non-temporal stores\n"
+      "  --no-compile        skip kernel compilation for this request\n"
+      "  --id TEXT           request id echoed in the response\n"
+      "  --request JSON      send this raw request line instead\n"
+      "  --stats             dump the daemon's counters\n"
+      "  --ping              liveness check\n"
+      "  --shutdown          stop the daemon\n"
+      "  --timeout-ms N      connect retry budget (default 3000)\n"
+      "\n"
+      "exit codes (client): 0 success; 2 schedule rejected as illegal;\n"
+      "  1 anything else (connect failure, bad request, internal error)\n");
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+/// Builds the request line from convenience flags.
+std::string buildRequest(const ArgParse &Args) {
+  if (Args.has("request"))
+    return Args.getString("request", "");
+  if (Args.has("stats"))
+    return "{\"op\": \"stats\"}";
+  if (Args.has("ping"))
+    return "{\"op\": \"ping\"}";
+  if (Args.has("shutdown"))
+    return "{\"op\": \"shutdown\"}";
+  if (!Args.has("kernel"))
+    return "";
+  std::string Req = "{\"op\": \"optimize\", \"kernel\": \"" +
+                    jsonEscape(Args.getString("kernel", "")) + "\"";
+  if (Args.has("size"))
+    Req += ", \"size\": " + std::to_string(Args.getInt("size", 0));
+  if (Args.has("arch"))
+    Req += ", \"arch\": \"" + jsonEscape(Args.getString("arch", "host")) +
+           "\"";
+  if (Args.has("schedule"))
+    Req += ", \"schedule\": \"" +
+           jsonEscape(Args.getString("schedule", "")) + "\"";
+  if (Args.has("score-mode"))
+    Req += ", \"score_mode\": \"" +
+           jsonEscape(Args.getString("score-mode", "auto")) + "\"";
+  if (Args.has("no-nti"))
+    Req += ", \"nti\": false";
+  if (Args.has("no-compile"))
+    Req += ", \"compile\": false";
+  if (Args.has("id"))
+    Req += ", \"id\": \"" + jsonEscape(Args.getString("id", "")) + "\"";
+  Req += "}";
+  return Req;
+}
+
+/// Connects to \p Path, retrying until \p TimeoutMs elapses (the daemon
+/// may still be binding when a script races it).
+int connectWithRetry(const std::string &Path, long TimeoutMs) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return -1;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+
+  long WaitedMs = 0;
+  for (;;) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0)
+      return Fd;
+    ::close(Fd);
+    if (WaitedMs >= TimeoutMs)
+      return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    WaitedMs += 50;
+  }
+}
+
+int runClient(const ArgParse &Args) {
+  std::string Line = buildRequest(Args);
+  if (Line.empty()) {
+    std::fprintf(stderr, "error: nothing to send (want --kernel, "
+                         "--request, --stats, --ping or --shutdown)\n");
+    return 1;
+  }
+  std::string Path = Args.getString("connect", "");
+  int Fd = connectWithRetry(Path, Args.getInt("timeout-ms", 3000));
+  if (Fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to %s\n", Path.c_str());
+    return 1;
+  }
+  Line += "\n";
+  size_t Off = 0;
+  while (Off < Line.size()) {
+    ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      std::fprintf(stderr, "error: write: %s\n", std::strerror(errno));
+      ::close(Fd);
+      return 1;
+    }
+    Off += static_cast<size_t>(N);
+  }
+
+  std::string Reply;
+  char Chunk[4096];
+  while (Reply.find('\n') == std::string::npos) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
+    Reply.append(Chunk, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  size_t Nl = Reply.find('\n');
+  if (Nl == std::string::npos) {
+    std::fprintf(stderr, "error: daemon closed the connection without "
+                         "replying\n");
+    return 1;
+  }
+  Reply.resize(Nl);
+  std::printf("%s\n", Reply.c_str());
+  if (Reply.find("\"ok\": true") != std::string::npos)
+    return 0;
+  if (Reply.find("\"kind\": \"illegal_schedule\"") != std::string::npos)
+    return 2;
+  return 1;
+}
+
+int runDaemon(const ArgParse &Args) {
+  ServiceOptions Opts;
+  Opts.ForceScoreMode = Args.getString("score-mode", "");
+  Opts.DisableCompile = Args.has("no-compile");
+
+  Server Srv(Args.getString("socket", ""), Opts);
+  std::string Error;
+  if (!Srv.start(&Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN); // a vanished client must not kill us
+
+  std::printf("ltp-serve: listening on %s\n", Srv.socketPath().c_str());
+  std::fflush(stdout);
+  Srv.wait(&SignalStop);
+  std::printf("ltp-serve: stopped\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args(Argc, Argv);
+  if (Args.has("help")) {
+    printUsage();
+    return 0;
+  }
+  if (Args.has("connect"))
+    return runClient(Args);
+  if (Args.has("socket"))
+    return runDaemon(Args);
+  printUsage();
+  return 1;
+}
