@@ -17,6 +17,14 @@
 using namespace ltp;
 using namespace ltp::bench;
 
+namespace {
+bool AutotunerLintPrune = true;
+} // namespace
+
+void ltp::bench::setAutotunerLintPrune(bool Enabled) {
+  AutotunerLintPrune = Enabled;
+}
+
 const char *ltp::bench::schedulerName(Scheduler S) {
   switch (S) {
   case Scheduler::Proposed:
@@ -76,6 +84,7 @@ std::string ltp::bench::applyScheduler(BenchmarkInstance &Instance,
     AutotuneOptions Options;
     Options.BudgetSeconds = AutotuneBudgetSeconds;
     Options.MaxCandidates = AutotuneMaxCandidates;
+    Options.LintPrune = AutotunerLintPrune;
     AutotuneOutcome Outcome = autotune(Instance, *Compiler, Options);
     if (OutcomeOut)
       *OutcomeOut = Outcome;

@@ -56,6 +56,11 @@ std::string applyScheduler(BenchmarkInstance &Instance, Scheduler S,
                            int AutotuneMaxCandidates = 0,
                            AutotuneOutcome *OutcomeOut = nullptr);
 
+/// Ablation toggle for the autotuner's lint-pruning stage (the
+/// lint-pruning row in EXPERIMENTS.md): fig4/fig5 map --no-lint-prune
+/// onto it. Defaults to enabled.
+void setAutotunerLintPrune(bool Enabled);
+
 /// Compiles and times the pipeline: best of \p Runs wall-clock seconds.
 /// Returns a negative value when JIT compilation is unavailable/fails.
 double timePipeline(const BenchmarkInstance &Instance,

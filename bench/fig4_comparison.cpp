@@ -42,6 +42,7 @@ int main(int Argc, char **Argv) {
                         ? intelI7_6700()
                         : intelI7_5930K();
   setupTelemetry(Args, "fig4");
+  setAutotunerLintPrune(!Args.has("no-lint-prune"));
   printHeader("Figure 4: relative throughput vs fastest", Arch);
 
   const std::vector<Scheduler> Schedulers = {
@@ -90,6 +91,7 @@ int main(int Argc, char **Argv) {
       TunerTotals.CandidatesEvaluated += Outcome.CandidatesEvaluated;
       TunerTotals.CandidatesFailed += Outcome.CandidatesFailed;
       TunerTotals.CandidatesPruned += Outcome.CandidatesPruned;
+      TunerTotals.CandidatesLintPruned += Outcome.CandidatesLintPruned;
 
       // Proposed+NTI only differs when the classifier enables streaming
       // stores; report it once, on the kernels it applies to.
@@ -184,8 +186,9 @@ int main(int Argc, char **Argv) {
     std::printf("\n");
   }
   std::printf("autotuner stats  : %d candidates evaluated | %d pruned "
-              "statically | %d failed to compile\n",
+              "statically | %d lint-pruned | %d failed to compile\n",
               TunerTotals.CandidatesEvaluated, TunerTotals.CandidatesPruned,
+              TunerTotals.CandidatesLintPruned,
               TunerTotals.CandidatesFailed);
   printJITStats(Compiler);
   printTelemetryFooter();

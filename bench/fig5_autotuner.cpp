@@ -25,6 +25,7 @@ using namespace ltp::bench;
 int main(int Argc, char **Argv) {
   ArgParse Args(Argc, Argv);
   setupTelemetry(Args, "fig5");
+  setAutotunerLintPrune(!Args.has("no-lint-prune"));
   ArchParams Arch = intelI7_5930K();
   printHeader("Figure 5: autotuner with a long budget vs Proposed+NTI",
               Arch);
@@ -59,6 +60,7 @@ int main(int Argc, char **Argv) {
     TunerTotals.CandidatesEvaluated += Outcome.CandidatesEvaluated;
     TunerTotals.CandidatesFailed += Outcome.CandidatesFailed;
     TunerTotals.CandidatesPruned += Outcome.CandidatesPruned;
+    TunerTotals.CandidatesLintPruned += Outcome.CandidatesLintPruned;
 
     // Both final pipelines compile in one batch; the tuner's candidate
     // kernels were already compiled batch-wise inside autotune().
@@ -83,8 +85,9 @@ int main(int Argc, char **Argv) {
   std::printf("autotuner budget: %.0f s per benchmark (paper: 1 day)\n",
               Budget);
   std::printf("autotuner stats : %d candidates evaluated | %d pruned "
-              "statically | %d failed to compile\n",
+              "statically | %d lint-pruned | %d failed to compile\n",
               TunerTotals.CandidatesEvaluated, TunerTotals.CandidatesPruned,
+              TunerTotals.CandidatesLintPruned,
               TunerTotals.CandidatesFailed);
   printJITStats(Compiler);
   printTelemetryFooter();

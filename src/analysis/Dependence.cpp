@@ -226,8 +226,8 @@ PairSolution solvePair(const std::vector<AffineIndex> &F1,
     // SIV: a single variable.
     if (Vars.size() == 1) {
       const std::string &V = *Vars.begin();
-      int64_t C1 = A.Coeffs.count(V) ? A.Coeffs.at(V) : 0;
-      int64_t C2 = B.Coeffs.count(V) ? B.Coeffs.at(V) : 0;
+      int64_t C1 = A.Coeffs.contains(V) ? A.Coeffs.at(V) : 0;
+      int64_t C2 = B.Coeffs.contains(V) ? B.Coeffs.at(V) : 0;
       if (C1 == C2 && C1 != 0) {
         // Strong SIV: C*(v2 - v1) = A.Const - B.Const.
         int64_t Rhs = A.Const - B.Const;

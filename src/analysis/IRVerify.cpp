@@ -121,7 +121,7 @@ private:
       return;
     case ExprKind::VarRef: {
       const VarRef *Node = exprAs<VarRef>(E);
-      if (!Scope.count(Node->Name))
+      if (!Scope.contains(Node->Name))
         Error = strFormat("variable '%s' referenced outside any binding "
                           "loop or let",
                           Node->Name.c_str());

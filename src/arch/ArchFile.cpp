@@ -132,6 +132,14 @@ ErrorOr<ArchParams> ltp::parseArchParams(const std::string &Text) {
       Arch.L2MaxPrefetchDistance = static_cast<int>(parseSize(Value));
       if (Arch.L2MaxPrefetchDistance < 0)
         return Fail("bad prefetch distance");
+    } else if (Key == "l2_streamer_trains") {
+      Arch.L2StreamerTrains = static_cast<int>(parseSize(Value));
+      if (Arch.L2StreamerTrains <= 0)
+        return Fail("bad streamer train count");
+    } else if (Key == "vector_registers") {
+      Arch.VectorRegisters = static_cast<int>(parseSize(Value));
+      if (Arch.VectorRegisters <= 0)
+        return Fail("bad vector register count");
     } else if (Key == "a2") {
       Arch.A2 = std::strtod(Value.c_str(), nullptr);
     } else if (Key == "a3") {
@@ -186,6 +194,8 @@ std::string ltp::archParamsToText(const ArchParams &Arch) {
   Out += strFormat("l2_prefetch_degree = %d\n", Arch.L2PrefetchDegree);
   Out += strFormat("l2_max_prefetch_distance = %d\n",
                    Arch.L2MaxPrefetchDistance);
+  Out += strFormat("l2_streamer_trains = %d\n", Arch.L2StreamerTrains);
+  Out += strFormat("vector_registers = %d\n", Arch.VectorRegisters);
   Out += strFormat("a2 = %g\n", Arch.A2);
   Out += strFormat("a3 = %g\n", Arch.A3);
   return Out;

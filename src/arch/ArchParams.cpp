@@ -26,6 +26,8 @@ ArchParams ltp::intelI7_6700() {
   Arch.SharedL2 = false;
   Arch.L2PrefetchDegree = 2;
   Arch.L2MaxPrefetchDistance = 20;
+  Arch.L2StreamerTrains = 32;
+  Arch.VectorRegisters = 16;
   Arch.A2 = 1.0;
   Arch.A3 = 4.0;
   return Arch;
@@ -58,6 +60,8 @@ ArchParams ltp::armCortexA15() {
   // the Intel streamer.
   Arch.L2PrefetchDegree = 1;
   Arch.L2MaxPrefetchDistance = 8;
+  Arch.L2StreamerTrains = 8;
+  Arch.VectorRegisters = 16;
   Arch.A2 = 1.0;
   // No L3: the a3 weight prices misses that go straight to DRAM.
   Arch.A3 = 8.0;

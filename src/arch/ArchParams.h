@@ -64,6 +64,14 @@ struct ArchParams {
   /// Maximum distance (in cache lines) between the demand reference and
   /// the prefetched line ("usually 20 for Intel processors").
   int L2MaxPrefetchDistance = 20;
+  /// Number of distinct access streams (trains) the L2 streamer tracks
+  /// concurrently; streams beyond this evict tracker entries and stop
+  /// being prefetched (32 forward streams on Intel server/client cores).
+  int L2StreamerTrains = 32;
+  /// Architectural vector register count visible to the compiler (16 for
+  /// SSE/AVX in 64-bit mode, 16 q-registers for NEON). Bounds the
+  /// unroll_jam accumulator footprint before spilling.
+  int VectorRegisters = 16;
 
   /// Relative access-time weights used by the cost function (Eq. 11):
   /// a2 = L2 access cost, a3 = L3/memory access cost.

@@ -3,9 +3,11 @@
 #include "baselines/Autotuner.h"
 
 #include "analysis/Legality.h"
+#include "analysis/Lint.h"
 #include "benchmarks/PipelineRunner.h"
 #include "core/AccessInfo.h"
 #include "model/MissModel.h"
+#include "obs/Provenance.h"
 #include "obs/Telemetry.h"
 #include "support/Format.h"
 #include "support/Timer.h"
@@ -159,6 +161,8 @@ AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
   static obs::Counter &FailedCounter = obs::counter("autotune.failed");
   static obs::Counter &ModelPrunedCounter =
       obs::counter("autotune.pruned.model");
+  static obs::Counter &LintPrunedCounter =
+      obs::counter("opt.candidates.lint_pruned");
   static obs::Counter &PredictAnalytic =
       obs::counter("model.predict.analytic");
   static obs::Counter &PredictFallback =
@@ -169,6 +173,12 @@ AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
 
   AutotuneOutcome Outcome;
   PipelineDecision BestDecision;
+
+  // Under --explain, every lint-pruned candidate and every new best is
+  // logged with its reason so the search is auditable like the optimizer.
+  const bool Explain = obs::explainEnabled();
+  if (Explain)
+    obs::beginDecision(Instance.Stages.back().name(), "autotune");
 
   const bool ModelPruning = Options.ModelKeepFraction < 1.0;
   model::BufferStrides Strides;
@@ -238,19 +248,54 @@ AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
       }
       applyPipelineDecision(Instance, Decision, Arch);
       // Static legality pruning: drop candidates the verifier rejects
-      // before spending a compilation on them.
+      // before spending a compilation on them. The per-stage reports are
+      // kept for reuse by the lint pass below.
+      std::vector<analysis::LegalityReport> StageLegality(
+          Instance.Stages.size());
       bool Illegal = false;
       for (size_t I = 0; I != Instance.Stages.size() && !Illegal; ++I) {
         const Func &F = Instance.Stages[I];
         int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
-        Illegal = analysis::verifyStageSchedule(F, ComputeStage,
-                                                Instance.StageExtents[I])
-                      .hasErrors();
+        StageLegality[I] = analysis::verifyStageSchedule(
+            F, ComputeStage, Instance.StageExtents[I]);
+        Illegal = StageLegality[I].hasErrors();
       }
       if (Illegal) {
         ++Outcome.CandidatesPruned;
         PrunedCounter.add();
         continue;
+      }
+      // Lint pruning: drop legal candidates a static diagnostic of Error
+      // severity marks as prefetcher-hostile (an oversized tile, a
+      // scattering vectorize) before spending a compilation on them.
+      if (Options.LintPrune) {
+        std::string LintRule;
+        for (size_t I = 0; I != Instance.Stages.size() && LintRule.empty();
+             ++I) {
+          Func &F = Instance.Stages[I];
+          int ComputeStage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+          lint::LintOptions LintOpts;
+          LintOpts.Score = Options.Score;
+          LintOpts.PrecomputedLegality = &StageLegality[I];
+          lint::LintReport Report = lint::lintStageSchedule(
+              F, ComputeStage, Instance.StageExtents[I], Arch, LintOpts);
+          for (const lint::Diagnostic &D : Report.Diagnostics)
+            if (D.Sev == analysis::Severity::Error) {
+              LintRule = D.RuleId;
+              break;
+            }
+        }
+        if (!LintRule.empty()) {
+          ++Outcome.CandidatesLintPruned;
+          LintPrunedCounter.add();
+          if (Explain) {
+            obs::CandidateRecord Rec;
+            Rec.Candidate = describeDecision(Decision);
+            Rec.Reason = "lint: " + LintRule;
+            obs::recordCandidate(std::move(Rec));
+          }
+          continue;
+        }
       }
       Ranked R;
       if (ModelPruning) {
@@ -306,6 +351,13 @@ AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
       if (Outcome.BestSeconds < 0.0 || Seconds < Outcome.BestSeconds) {
         Outcome.BestSeconds = Seconds;
         BestDecision = Batch[B];
+        if (Explain) {
+          obs::CandidateRecord Rec;
+          Rec.Candidate = describeDecision(Batch[B]);
+          Rec.Accepted = true;
+          Rec.Reason = strFormat("best so far (%.3f ms)", Seconds * 1e3);
+          obs::recordCandidate(std::move(Rec));
+        }
       }
     }
   }
@@ -314,5 +366,9 @@ AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
     applyPipelineDecision(Instance, BestDecision, Arch);
     Outcome.BestDescription = describeDecision(BestDecision);
   }
+  if (Explain)
+    obs::endDecision(Outcome.BestDescription.empty()
+                         ? "no candidate evaluated"
+                         : Outcome.BestDescription);
   return Outcome;
 }

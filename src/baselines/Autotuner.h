@@ -60,6 +60,11 @@ struct AutotuneOptions {
   /// cache simulator when its applicability check fails; Sim always
   /// simulates.
   model::ScoreMode Score = model::ScoreMode::Auto;
+  /// Lint pruning: after the legality verifier accepts a candidate, run
+  /// the static diagnostics pass and drop the candidate when a rule of
+  /// Error severity fires (an oversized tile, a scattering vectorize)
+  /// before spending a compilation on it. Warnings never prune.
+  bool LintPrune = true;
 };
 
 /// Search outcome. The best schedule found is left applied to the
@@ -75,6 +80,9 @@ struct AutotuneOutcome {
   /// Legal candidates dropped by the miss-model ranking before any
   /// compilation was attempted.
   int CandidatesModelPruned = 0;
+  /// Legal candidates dropped because a static lint diagnostic of Error
+  /// severity fired on their schedule.
+  int CandidatesLintPruned = 0;
   /// Of the candidates the pruning stage scored: how many the closed-form
   /// model handled vs how many fell back to the cache simulator.
   int ScoredAnalytic = 0;

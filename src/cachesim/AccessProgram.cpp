@@ -732,7 +732,7 @@ void collectEscapeStmt(const StmtPtr &S, EscapeSets &Sets) {
 bool intersects(const std::set<std::string> &A,
                 const std::set<std::string> &B) {
   for (const std::string &X : A)
-    if (B.count(X))
+    if (B.contains(X))
       return true;
   return false;
 }

@@ -79,7 +79,7 @@ public:
       : Signature(Signature), Options(Options),
         KernelName(std::move(KernelName)) {
     for (size_t I = 0; I != Signature.size(); ++I) {
-      assert(!BufferIndex.count(Signature[I].Name) &&
+      assert(!BufferIndex.contains(Signature[I].Name) &&
              "duplicate buffer in kernel signature");
       BufferIndex[Signature[I].Name] = I;
     }
@@ -1370,7 +1370,7 @@ private:
     std::string Out;
     for (size_t I = 0; I != Signature.size(); ++I) {
       const BufferBinding &B = Signature[I];
-      bool Written = WrittenNames.count(B.Name) != 0;
+      bool Written = WrittenNames.contains(B.Name);
       std::string CType = B.ElemType.cName();
       if (Written)
         Out += Pad +
@@ -1498,7 +1498,7 @@ private:
     std::string Out;
     Out += strFormat("/* Explicit SIMD helpers (%s). */\n",
                      Options.ISA.name());
-    if (SimdSuffixesUsed.count("f32")) {
+    if (SimdSuffixesUsed.contains("f32")) {
       if (AVX2)
         Out +=
             "static inline __m256 ltp_vload_f32(const float *p) "
@@ -1552,7 +1552,7 @@ private:
             "static inline __m128 ltp_vfma_f32(__m128 a, __m128 b, "
             "__m128 c) { return _mm_add_ps(_mm_mul_ps(a, b), c); }\n";
     }
-    if (SimdSuffixesUsed.count("f64")) {
+    if (SimdSuffixesUsed.contains("f64")) {
       if (AVX2)
         Out +=
             "static inline __m256d ltp_vload_f64(const double *p) "
@@ -1606,7 +1606,7 @@ private:
             "static inline __m128d ltp_vfma_f64(__m128d a, __m128d b, "
             "__m128d c) { return _mm_add_pd(_mm_mul_pd(a, b), c); }\n";
     }
-    if (SimdSuffixesUsed.count("i32")) {
+    if (SimdSuffixesUsed.contains("i32")) {
       // Int32 and UInt32 share these; pointers are void* so both element
       // types bind without casts at the call sites.
       if (AVX2)

@@ -119,7 +119,7 @@ SpatialSchedule ltp::optimizeSpatial(const StageAccessInfo &Info,
           static_cast<double>(Tx) / static_cast<double>(Lc);
       for (const ArrayAccess *Input : Info.inputs()) {
         double Partial =
-            Transposed.count(Input->Buffer)
+            Transposed.contains(Input->Buffer)
                 ? (Area / static_cast<double>(Ty)) * PrefetchEfficiency
                 : (Area / static_cast<double>(Tx)) * PrefetchEfficiency;
         Total += Partial;

@@ -535,12 +535,12 @@ TemporalSchedule ltp::optimizeTemporal(const StageAccessInfo &Info,
       if (A.IsOutput)
         Output = &A;
     bool OutputAdvances =
-        Output && Output->indexVars().count(U) && ULoop &&
+        Output && Output->indexVars().contains(U) && ULoop &&
         !ULoop->IsReduction;
     bool InputReused = false;
     for (const ArrayAccess *In : Info.inputs()) {
       std::set<std::string> Vars = In->indexVars();
-      if (Vars.count(Best.VectorVar) && !Vars.count(U))
+      if (Vars.contains(Best.VectorVar) && !Vars.contains(U))
         InputReused = true;
     }
     // Each jam copy costs one accumulator load+store per vector
@@ -587,7 +587,7 @@ void ltp::applyTemporalSchedule(Func &F, int StageIndex,
   // Reorder, innermost first: intra block then inter block.
   std::vector<VarName> Order;
   for (const std::string &Name : Schedule.IntraOrder)
-    Order.push_back(Tiled.count(Name) ? Name + "_i" : Name);
+    Order.push_back(Tiled.contains(Name) ? Name + "_i" : Name);
   for (const std::string &Name : Schedule.InterOrder)
     Order.push_back(Name + "_t");
   S.reorder(Order);
@@ -602,14 +602,14 @@ void ltp::applyTemporalSchedule(Func &F, int StageIndex,
   } else if (!Schedule.ParallelVar.empty()) {
     // An untiled parallel variable (the no-feasible-tiling fallback) has
     // no inter-tile loop; parallelize the loop itself.
-    S.parallel(Tiled.count(Schedule.ParallelVar)
+    S.parallel(Tiled.contains(Schedule.ParallelVar)
                    ? Schedule.ParallelVar + "_t"
                    : Schedule.ParallelVar);
   }
 
   // Vectorization of the column loop.
   if (!Schedule.VectorVar.empty() && Schedule.VectorWidth > 1) {
-    std::string Name = Tiled.count(Schedule.VectorVar)
+    std::string Name = Tiled.contains(Schedule.VectorVar)
                            ? Schedule.VectorVar + "_i"
                            : Schedule.VectorVar;
     S.vectorize(Name);
@@ -617,7 +617,7 @@ void ltp::applyTemporalSchedule(Func &F, int StageIndex,
 
   // Register tiling of the outermost intra-tile loop.
   if (!Schedule.UnrollJamVar.empty() && Schedule.UnrollJamFactor > 1) {
-    std::string Name = Tiled.count(Schedule.UnrollJamVar)
+    std::string Name = Tiled.contains(Schedule.UnrollJamVar)
                            ? Schedule.UnrollJamVar + "_i"
                            : Schedule.UnrollJamVar;
     S.unrollJam(Name, Schedule.UnrollJamFactor);

@@ -168,7 +168,7 @@ public:
 protected:
   ExprPtr mutate(const VarRef *Node, const ExprPtr &Original) override {
     auto It = Replacements.find(Node->Name);
-    if (It == Replacements.end() || Shadowed.count(Node->Name))
+    if (It == Replacements.end() || Shadowed.contains(Node->Name))
       return Original;
     return It->second;
   }

@@ -397,7 +397,7 @@ JITCompiler::compileMany(const std::vector<CompileJob> &Jobs) {
     for (size_t I = 0; I != Preps.size(); ++I) {
       MemoShard &Shard = shardFor(Preps[I].Key);
       std::lock_guard<std::mutex> Lock(Shard.Mu);
-      if (!Shard.Map.count(Preps[I].Key) &&
+      if (!Shard.Map.contains(Preps[I].Key) &&
           Seen.insert(Preps[I].Key).second) {
         Cold.push_back(I);
         ColdSet.insert(I);
@@ -455,7 +455,7 @@ JITCompiler::compileMany(const std::vector<CompileJob> &Jobs) {
     std::lock_guard<std::mutex> Lock(Shard.Mu);
     auto It = Shard.Map.find(Preps[I].Key);
     assert(It != Shard.Map.end() && "batch module missing from the cache");
-    if (!ColdSet.count(I)) {
+    if (!ColdSet.contains(I)) {
       ++CacheHits;
       memoHitsCounter().add();
     }

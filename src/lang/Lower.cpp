@@ -255,7 +255,7 @@ StmtPtr ltp::lowerStage(const Func &F, int StageIndex,
   std::set<std::string> PureLoopVars;
   for (size_t D = 0; D != Nest.StoreIndices.size(); ++D) {
     const VarRef *V = exprDynAs<VarRef>(Nest.StoreIndices[D]);
-    if (!V || PureLoopVars.count(V->Name))
+    if (!V || PureLoopVars.contains(V->Name))
       continue;
     PureLoopVars.insert(V->Name);
     LoopDim Dim;

@@ -269,7 +269,7 @@ std::string ltp::validateScheduleNames(const Func &F, int StageIndex) {
 
   auto Check = [&](const std::string &Name,
                    const char *Directive) -> std::string {
-    if (Live.count(Name))
+    if (Live.contains(Name))
       return "";
     return strFormat("%s references unknown loop '%s'", Directive,
                      Name.c_str());
@@ -279,7 +279,7 @@ std::string ltp::validateScheduleNames(const Func &F, int StageIndex) {
     if (const auto *S = std::get_if<SplitDirective>(&Directive)) {
       if (std::string E = Check(S->Old, "split"); !E.empty())
         return E;
-      if (Live.count(S->Outer) || Live.count(S->Inner))
+      if (Live.contains(S->Outer) || Live.contains(S->Inner))
         return strFormat("split introduces a name that already exists "
                          "('%s' or '%s')",
                          S->Outer.c_str(), S->Inner.c_str());
@@ -309,7 +309,7 @@ std::string ltp::validateScheduleNames(const Func &F, int StageIndex) {
     } else if (const auto *U = std::get_if<UnrollJamDirective>(&Directive)) {
       if (std::string E = Check(U->Name, "unroll_jam"); !E.empty())
         return E;
-      if (Live.count(U->Name + "_ujo") || Live.count(U->Name + "_uji"))
+      if (Live.contains(U->Name + "_ujo") || Live.contains(U->Name + "_uji"))
         return strFormat("unroll_jam introduces a name that already "
                          "exists ('%s_ujo' or '%s_uji')",
                          U->Name.c_str(), U->Name.c_str());

@@ -60,7 +60,7 @@ namespace {
 /// coefficient in any dimension.
 bool accessUsesVar(const ArrayAccess &Access, const std::string &Var) {
   for (const AffineIndex &Index : Access.Index)
-    if (Index.Coeffs.count(Var) && Index.Coeffs.at(Var) != 0)
+    if (Index.Coeffs.contains(Var) && Index.Coeffs.at(Var) != 0)
       return true;
   return false;
 }

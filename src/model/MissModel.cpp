@@ -213,7 +213,7 @@ MissPrediction ltp::model::predictMisses(const StageAccessInfo &Info,
     for (size_t J = 0; J != NL; ++J) {
       int MovedDims = 0;
       for (const AffineIndex &Index : G.Leader->Index)
-        if (Index.Coeffs.count(Nest[J].OriginVar) &&
+        if (Index.Coeffs.contains(Nest[J].OriginVar) &&
             Index.Coeffs.at(Nest[J].OriginVar) != 0) {
           GG.Uses[J] = true;
           ++MovedDims;

@@ -2,6 +2,7 @@
 
 #include "serve/OptimizerService.h"
 
+#include "analysis/Lint.h"
 #include "benchmarks/PipelineRunner.h"
 #include "core/Classifier.h"
 #include "lang/Bounds.h"
@@ -79,15 +80,16 @@ Response OptimizerService::handle(const Request &Req) {
                        [&] { return Req.Kernel; });
   requestsCounter().add();
 
-  if (Req.Op != "optimize")
+  if (Req.Op != "optimize" && Req.Op != "lint")
     return badRequest(Req, "op '" + Req.Op + "' is not servable here");
 
   // Normalize the request against daemon-wide policy before keying, so
-  // the dedup table never splits on fields the policy overrides.
+  // the dedup table never splits on fields the policy overrides. Lint
+  // requests never compile, so their keys collapse on that field too.
   Request EReq = Req;
   if (!Opts.ForceScoreMode.empty())
     EReq.ScoreModeText = Opts.ForceScoreMode;
-  if (Opts.DisableCompile)
+  if (Opts.DisableCompile || EReq.Op == "lint")
     EReq.Compile = false;
 
   model::ScoreMode Mode = model::ScoreMode::Auto;
@@ -174,6 +176,27 @@ Response OptimizerService::runSession(const Request &Req,
   auto OptStart = std::chrono::steady_clock::now();
   if (!scheduleSession(Sess)) {
     Sess.Resp.OptMillis = millisSince(OptStart);
+    return Sess.Resp;
+  }
+
+  if (Req.Op == "lint") {
+    // Static diagnostics over every stage's schedule (the one just
+    // replayed or the one the optimizer just chose). Findings do not
+    // fail the response: an empty `diagnostics` array means clean.
+    lint::LintOptions LO;
+    LO.Score = Sess.Mode;
+    for (size_t S = 0; S != Sess.Instance.Stages.size(); ++S) {
+      Func &F = Sess.Instance.Stages[S];
+      lint::LintReport Report =
+          lint::lintStageSchedule(F, scheduleStageIndex(F),
+                                  Sess.Instance.StageExtents[S], Sess.Arch, LO);
+      for (const lint::Diagnostic &D : Report.Diagnostics)
+        Sess.Resp.DiagnosticsJson.push_back(
+            lint::diagnosticJson(D, static_cast<int>(S)));
+    }
+    Sess.Resp.LintRan = true;
+    Sess.Resp.OptMillis = millisSince(OptStart);
+    Sess.Resp.Ok = true;
     return Sess.Resp;
   }
   Sess.Resp.OptMillis = millisSince(OptStart);

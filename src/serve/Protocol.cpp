@@ -91,12 +91,12 @@ ErrorOr<Request> ltp::serve::parseRequest(const std::string &Line) {
           "unknown or mistyped request field '" + Name + "'");
     }
   }
-  if (Req.Op != "optimize" && Req.Op != "stats" && Req.Op != "ping" &&
-      Req.Op != "shutdown")
+  if (Req.Op != "optimize" && Req.Op != "lint" && Req.Op != "stats" &&
+      Req.Op != "ping" && Req.Op != "shutdown")
     return ErrorOr<Request>::makeError("unknown op '" + Req.Op + "'");
-  if (Req.Op == "optimize" && Req.Kernel.empty())
-    return ErrorOr<Request>::makeError(
-        "optimize request is missing 'kernel'");
+  if ((Req.Op == "optimize" || Req.Op == "lint") && Req.Kernel.empty())
+    return ErrorOr<Request>::makeError(Req.Op +
+                                       " request is missing 'kernel'");
   return Req;
 }
 
@@ -123,7 +123,8 @@ std::string ltp::serve::canonicalKey(const Request &Req,
   // else is normalized scalar fields. The schedule text participates
   // verbatim: textual differences conservatively miss the dedup table
   // and still land on the content-addressed kernel store underneath.
-  return "kernel=" + Req.Kernel + "\nsize=" + std::to_string(Req.Size) +
+  return "op=" + Req.Op + "\nkernel=" + Req.Kernel +
+         "\nsize=" + std::to_string(Req.Size) +
          "\nschedule=" + Req.Schedule + "\nscore=" + Req.ScoreModeText +
          "\nnti=" + (Req.EnableNTI ? "1" : "0") +
          "\ncompile=" + (Req.Compile ? "1" : "0") + "\narch{\n" +
@@ -186,6 +187,14 @@ std::string ltp::serve::renderResponse(const Response &R) {
     Out += ", \"so\": [";
     for (size_t I = 0; I != R.SoPaths.size(); ++I)
       Out += (I ? ", \"" : "\"") + jsonEscape(R.SoPaths[I]) + "\"";
+    Out += "]";
+  }
+  if (R.LintRan) {
+    // Members are pre-rendered JSON objects; an empty array means the
+    // linted schedules are clean.
+    Out += ", \"diagnostics\": [";
+    for (size_t I = 0; I != R.DiagnosticsJson.size(); ++I)
+      Out += (I ? ", " : "") + R.DiagnosticsJson[I];
     Out += "]";
   }
   if (R.Ok || R.Kind == ErrorKind::IllegalSchedule ||

@@ -15,6 +15,7 @@
 ///   {"op":"optimize","kernel":"matmul","size":256,"arch":"6700"}
 ///   {"op":"optimize","kernel":"matmul",
 ///    "schedule":"split(i,it,ii,32); parallel(it);"}
+///   {"op":"lint","kernel":"matmul","schedule":"reorder(i, j, k);"}
 ///   {"op":"stats"}  {"op":"ping"}  {"op":"shutdown"}
 ///
 /// Requests are *canonicalized* before dedup keying: the key is the full
@@ -40,7 +41,9 @@ namespace serve {
 
 /// One parsed request line.
 struct Request {
-  /// "optimize" (default), "stats", "ping" or "shutdown".
+  /// "optimize" (default), "lint", "stats", "ping" or "shutdown". A lint
+  /// request schedules like optimize (replaying `schedule` when present)
+  /// but returns static diagnostics instead of compiled kernels.
   std::string Op = "optimize";
   /// Client-chosen identifier echoed back verbatim (optional).
   std::string Id;
@@ -114,6 +117,12 @@ struct Response {
   std::string Schedule;    ///< directive text of the final-stage schedule
   std::string Description; ///< optimizer summary ("temporal: ... +NTI")
   std::vector<std::string> SoPaths; ///< one per pipeline stage
+  /// True when the request ran the lint pass; an empty DiagnosticsJson
+  /// then means "clean" (the `diagnostics` array is emitted either way).
+  bool LintRan = false;
+  /// Pre-rendered diagnostic JSON objects (lint::diagnosticJson), kept as
+  /// strings so the protocol layer stays decoupled from the lint library.
+  std::vector<std::string> DiagnosticsJson;
   DedupOutcome Dedup = DedupOutcome::Miss;
   std::string KeyHash; ///< canonical-key hash (dedup debugging)
   double OptMillis = 0.0;

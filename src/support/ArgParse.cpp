@@ -31,7 +31,7 @@ ArgParse::ArgParse(int Argc, const char *const *Argv) {
 }
 
 bool ArgParse::has(const std::string &Name) const {
-  return Flags.count(Name) != 0;
+  return Flags.contains(Name);
 }
 
 std::string ArgParse::getString(const std::string &Name,

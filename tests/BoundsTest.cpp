@@ -71,6 +71,44 @@ TEST(BoundsTest, StencilHaloVisible) {
   EXPECT_EQ(Regions["Out"].Dims[0], (Interval{0, 15}));
 }
 
+TEST(BoundsTest, ExtentOneNestCollapsesToPoint) {
+  // Trip-count-1 loops: every accessed region is a single point and the
+  // analysis must not widen it.
+  Var X("x"), Y("y");
+  InputBuffer In("In", ir::Type::float32(), 2);
+  Func Out("Out");
+  Out(X, Y) = In(X, Y);
+  auto Regions = computeAccessedRegions(lowerFunc(Out, {1, 1}));
+  EXPECT_EQ(Regions["Out"].Dims[0], (Interval{0, 0}));
+  EXPECT_EQ(Regions["Out"].Dims[1], (Interval{0, 0}));
+  EXPECT_EQ(Regions["In"].Dims[0], (Interval{0, 0}));
+}
+
+TEST(BoundsTest, SplitBeyondExtentStaysExact) {
+  // A split factor past the extent leaves a degenerate trip-count-1
+  // outer loop; the guarded tail must still cover exactly the extent.
+  Var X("x");
+  InputBuffer In("In", ir::Type::float32(), 1);
+  Func Out("Out");
+  Out(X) = In(X);
+  Out.split("x", "xo", "xi", 64);
+  auto Regions = computeAccessedRegions(lowerFunc(Out, {30}));
+  EXPECT_EQ(Regions["Out"].Dims[0], (Interval{0, 29}));
+  EXPECT_EQ(Regions["In"].Dims[0], (Interval{0, 29}));
+}
+
+TEST(BoundsTest, ReversedReadCoversExactRange) {
+  // Negative stride: In is walked backwards; the region is the same
+  // dense range, not an interval widened past either end.
+  Var X("x");
+  InputBuffer In("In", ir::Type::float32(), 1);
+  Func Out("Out");
+  Out(X) = In(29 - X);
+  auto Regions = computeAccessedRegions(lowerFunc(Out, {30}));
+  EXPECT_EQ(Regions["Out"].Dims[0], (Interval{0, 29}));
+  EXPECT_EQ(Regions["In"].Dims[0], (Interval{0, 29}));
+}
+
 TEST(BoundsTest, ValidateCatchesUndersizedBuffer) {
   Var X("x");
   InputBuffer In("In", ir::Type::float32(), 1);

@@ -293,6 +293,48 @@ TEST(Legality, AntiDiagonalParallelCarrierRejected) {
 }
 
 //===----------------------------------------------------------------------===//
+// Degenerate nests: trip-count-1 domains and negative-stride accesses
+//===----------------------------------------------------------------------===//
+
+TEST(LegalityDegenerate, ExtentOneNestScheduleAccepted) {
+  // Every loop over the output collapses to one iteration; splits and
+  // marks on trip-1 loops stay legal (the reduction still runs).
+  Func F = makeMatmul();
+  F.update(0).split("i", "it", "ii", 8);
+  F.update(0).parallel("it");
+  expectLegal(report(F, {1, 1}));
+}
+
+TEST(LegalityDegenerate, BackwardRecurrenceSerialAcceptedParallelRejected) {
+  // A(x) += A(x + 1): the dependence distance is negative in x (each
+  // iteration reads the not-yet-overwritten successor), which serial
+  // order satisfies but parallel execution races.
+  InputBuffer In("In", ir::Type::float32(), 1);
+  Var X("x");
+  Func A("A");
+  A(X) = In(X);
+  A(X) += A(X + 1);
+  expectLegal(report(A, {N}));
+
+  Func B("B");
+  B(X) = In(X);
+  B(X) += B(X + 1);
+  B.update(0).parallel("x");
+  expectIllegal(report(B, {N}), "would race");
+}
+
+TEST(LegalityDegenerate, ReversedInputReadParallelAccepted) {
+  // Negative-stride read of a pure input carries no dependence at all:
+  // any order (including parallel) is legal.
+  InputBuffer In("In", ir::Type::float32(), 1);
+  Var X("x");
+  Func A("A");
+  A(X) = In(47 - X);
+  A.parallel("x");
+  expectLegal(report(A, {N}));
+}
+
+//===----------------------------------------------------------------------===//
 // store_nontemporal: warning, never an error
 //===----------------------------------------------------------------------===//
 

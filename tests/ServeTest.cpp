@@ -70,6 +70,8 @@ TEST(ServeProtocol, RejectsBadInput) {
       parseRequest("{\"kernel\": \"copy\", \"size\": 3.5}")));
   EXPECT_FALSE(
       static_cast<bool>(parseRequest("{\"op\": \"optimize\"}"))); // no kernel
+  EXPECT_FALSE(
+      static_cast<bool>(parseRequest("{\"op\": \"lint\"}"))); // no kernel
   EXPECT_FALSE(static_cast<bool>(parseRequest("{\"op\": \"frobnicate\"}")));
 }
 
@@ -104,6 +106,12 @@ TEST(ServeProtocol, CanonicalKeyUnifiesEquivalentPlatforms) {
   }());
   ASSERT_TRUE(static_cast<bool>(A15));
   EXPECT_NE(canonicalKey(Named, *NamedArch), canonicalKey(Named, *A15));
+
+  // A lint request must never collide with an otherwise identical
+  // optimize request — the op participates in the key.
+  Request Lint = Named;
+  Lint.Op = "lint";
+  EXPECT_NE(canonicalKey(Named, *NamedArch), canonicalKey(Lint, *NamedArch));
 }
 
 //===----------------------------------------------------------------------===//
@@ -236,6 +244,50 @@ TEST(ServeService, IllegalScheduleIsClassifiedAndCached) {
   R = Service.handle(Req);
   EXPECT_FALSE(R.Ok);
   EXPECT_EQ(R.Kind, ErrorKind::IllegalSchedule);
+}
+
+TEST(ServeService, LintOpReturnsDiagnostics) {
+  OptimizerService Service;
+
+  // A schedule that keeps the column-major loop innermost: the lint pass
+  // must surface strided-innermost with its fix-it through the wire
+  // types (rendered JSON objects on the response).
+  Request Req = optimizeRequest("matmul", 48);
+  Req.Op = "lint";
+  Req.Schedule = "reorder(i, j, k);";
+  Response R = Service.handle(Req);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.LintRan);
+  ASSERT_FALSE(R.DiagnosticsJson.empty());
+  EXPECT_NE(R.DiagnosticsJson[0].find("\"rule\": \"strided-innermost\""),
+            std::string::npos);
+  EXPECT_NE(R.DiagnosticsJson[0].find("\"fixit\""), std::string::npos);
+  // Lint requests never compile, even when the client forgot to say so.
+  EXPECT_TRUE(R.SoPaths.empty());
+  std::string Rendered = renderResponse(R);
+  EXPECT_NE(Rendered.find("\"diagnostics\": [{"), std::string::npos);
+
+  // The optimizer's own chosen schedule lints clean — and the lint
+  // request does not dedup-collide with an optimize for the same kernel.
+  Request Clean = optimizeRequest("matmul", 48);
+  Clean.Op = "lint";
+  Response CleanR = Service.handle(Clean);
+  ASSERT_TRUE(CleanR.Ok) << CleanR.Error;
+  EXPECT_TRUE(CleanR.LintRan);
+  EXPECT_TRUE(CleanR.DiagnosticsJson.empty());
+  EXPECT_NE(renderResponse(CleanR).find("\"diagnostics\": []"),
+            std::string::npos);
+
+  Response Opt = Service.handle(optimizeRequest("matmul", 48));
+  ASSERT_TRUE(Opt.Ok) << Opt.Error;
+  EXPECT_FALSE(Opt.LintRan);
+  EXPECT_NE(Opt.KeyHash, CleanR.KeyHash);
+  EXPECT_EQ(Opt.Dedup, DedupOutcome::Miss); // not satisfied by the lint entry
+
+  // Identical lint requests do dedup with each other.
+  Response Again = Service.handle(Clean);
+  EXPECT_EQ(Again.Dedup, DedupOutcome::Cached);
+  EXPECT_TRUE(Again.LintRan);
 }
 
 TEST(ServeService, CompileReturnsSharedStorePaths) {

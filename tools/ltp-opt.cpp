@@ -11,12 +11,15 @@
 //   ltp-opt <benchmark>|all [--arch 5930k|6700|a15|host] [--size N]
 //           [--schedule "<directives>"] [--emit-c] [--simulate]
 //           [--score-mode analytic|sim|auto] [--no-nti] [--run]
-//           [--compile] [--verify] [--explain] [--trace-json FILE]
+//           [--compile] [--verify] [--lint] [--lint-fix] [--json]
+//           [--explain] [--trace-json FILE]
 //
-// Exit codes: 0 success; 2 the schedule text was rejected (parse error or
-// legality verifier); 1 anything else (usage, unknown benchmark, missing
-// compiler, internal failure). Scripts dispatch on the distinction: 2
-// means "fix your schedule", 1 means "fix your invocation or the tool".
+// Exit codes: 0 success; 2 the schedule text was rejected (parse error,
+// legality verifier, or a lint/verify diagnostic of Error severity); 1
+// anything else (usage, unknown benchmark, missing compiler, internal
+// failure). Scripts dispatch on the distinction: 2 means "fix your
+// schedule", 1 means "fix your invocation or the tool". Warning-severity
+// diagnostics print but exit 0.
 //
 // Examples:
 //   ltp-opt matmul --size 2048 --arch 5930k
@@ -29,6 +32,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Legality.h"
+#include "analysis/Lint.h"
 #include "arch/ArchFile.h"
 #include "benchmarks/PipelineRunner.h"
 #include "core/Optimizer.h"
@@ -38,6 +42,7 @@
 #include "obs/Provenance.h"
 #include "obs/Telemetry.h"
 #include "support/ArgParse.h"
+#include "support/Format.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -79,6 +84,18 @@ void printUsage() {
       "                               and print the .so paths\n"
       "  --verify                     print each stage's dependence graph "
       "and per-directive legality verdicts\n"
+      "                               (errors exit 2, warnings exit 0)\n"
+      "  --lint                       run the static prefetch-efficiency "
+      "diagnostics\n"
+      "                               over each stage's schedule and exit "
+      "(errors\n"
+      "                               exit 2, warnings exit 0)\n"
+      "  --lint-fix                   apply the machine fix-its, re-verify "
+      "the\n"
+      "                               rewritten schedule, and re-lint it\n"
+      "  --json                       with --lint: emit one "
+      "machine-readable JSON\n"
+      "                               line per benchmark instead of text\n"
       "  --explain                    log every candidate schedule the "
       "optimizer considered, with predicted misses and the accept/prune "
       "reason\n"
@@ -86,9 +103,10 @@ void printUsage() {
       "Chrome-trace/Perfetto JSON on exit\n"
       "\n"
       "exit codes:\n"
-      "  0  success\n"
-      "  2  schedule rejected: --schedule text failed to parse or was\n"
-      "     refused by the legality verifier\n"
+      "  0  success (warning-severity diagnostics still print)\n"
+      "  2  schedule rejected: --schedule text failed to parse, was\n"
+      "     refused by the legality verifier, or --verify/--lint found an\n"
+      "     Error-severity diagnostic\n"
       "  1  any other error (usage, unknown benchmark, missing compiler,\n"
       "     internal failure)\n");
 }
@@ -125,6 +143,90 @@ void printDecisions() {
     }
     std::printf("  chosen: %s\n\n", D.Chosen.c_str());
   }
+}
+
+/// Prints one lint diagnostic as indented text, including its fix-it.
+void printDiagnostic(const lint::Diagnostic &D, const std::string &Text) {
+  std::printf("  %s %s @%zu+%zu: %s\n", lint::severityName(D.Sev),
+              D.RuleId.c_str(), D.Offset, D.Length, D.Message.c_str());
+  if (D.Length > 0 && D.Offset + D.Length <= Text.size())
+    std::printf("    at: %s\n",
+                Text.substr(D.Offset, D.Length).c_str());
+  if (D.HasFixIt)
+    std::printf("    fix-it: %s\n", D.Fix.Replacement.empty()
+                                        ? "(delete)"
+                                        : D.Fix.Replacement.c_str());
+}
+
+/// The --lint / --lint-fix driver. Lints the compute stage of every
+/// pipeline stage — either the --schedule text just replayed or the
+/// schedule the optimizer just chose. With --lint-fix the fix-its are
+/// applied, the rewritten text is re-verified and re-linted, and the
+/// residual report is what decides the exit code. Returns 0 when no
+/// Error-severity rule fired, 2 otherwise.
+int runLint(BenchmarkInstance &Instance, const BenchmarkDef *Def,
+            const ArgParse &Args, const ArchParams &Arch,
+            model::ScoreMode Mode) {
+  lint::LintOptions Options;
+  Options.Score = Mode;
+  const bool Json = Args.has("json");
+  bool AnyErrors = false;
+  std::string Schedules, Diags;
+  for (size_t S = 0; S != Instance.Stages.size(); ++S) {
+    Func &F = Instance.Stages[S];
+    int Stage = F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
+    lint::LintReport Report = lint::lintStageSchedule(
+        F, Stage, Instance.StageExtents[S], Arch, Options);
+    if (Args.has("lint-fix") && !Report.clean()) {
+      // One fix can expose the next diagnostic (appending a reorder
+      // shadows the one it overrides), so iterate to a fixed point.
+      for (int Round = 0; Round != 5 && !Report.clean(); ++Round) {
+        std::string Fixed = lint::applyLintFixes(Report);
+        if (Fixed == Report.ScheduleText)
+          break; // nothing left is machine-fixable
+        F.clearSchedules();
+        auto R = applyVerifiedScheduleText(F, Stage, Fixed,
+                                           Instance.StageExtents[S]);
+        if (!R) {
+          std::fprintf(stderr,
+                       "error: fix-its produced an illegal schedule: %s\n",
+                       R.getError().c_str());
+          return 1;
+        }
+        Report = lint::lintStageSchedule(F, Stage, Instance.StageExtents[S],
+                                         Arch, Options);
+      }
+      if (!Json)
+        std::printf("lint stage %zu: fixed schedule: %s\n", S,
+                    Report.ScheduleText.c_str());
+    }
+    if (Json) {
+      if (S)
+        Schedules += ", ";
+      Schedules += "\"" + Report.ScheduleText + "\"";
+      for (const lint::Diagnostic &D : Report.Diagnostics) {
+        if (!Diags.empty())
+          Diags += ", ";
+        Diags += lint::diagnosticJson(D, static_cast<int>(S));
+      }
+    } else {
+      std::printf("lint stage %zu (%s): %s\n", S, F.name().c_str(),
+                  Report.clean()
+                      ? "clean"
+                      : strFormat("%zu diagnostic(s)",
+                                  Report.Diagnostics.size())
+                            .c_str());
+      for (const lint::Diagnostic &D : Report.Diagnostics)
+        printDiagnostic(D, Report.ScheduleText);
+    }
+    AnyErrors |= Report.hasErrors();
+  }
+  if (Json)
+    std::printf("{\"kernel\": \"%s\", \"arch\": \"%s\", \"schedules\": "
+                "[%s], \"diagnostics\": [%s]}\n",
+                Def->Name.c_str(), Arch.Name.c_str(), Schedules.c_str(),
+                Diags.c_str());
+  return AnyErrors ? 2 : 0;
 }
 
 int processBenchmark(const BenchmarkDef *Def, const ArgParse &Args,
@@ -183,6 +285,9 @@ int processBenchmark(const BenchmarkDef *Def, const ArgParse &Args,
       printDecisions();
   }
 
+  if (Args.has("lint") || Args.has("lint-fix"))
+    return runLint(Instance, Def, Args, Arch, Mode);
+
   if (Args.has("verify")) {
     bool AnyErrors = false;
     for (size_t S = 0; S != Instance.Stages.size(); ++S) {
@@ -207,10 +312,12 @@ int processBenchmark(const BenchmarkDef *Def, const ArgParse &Args,
       AnyErrors |= Report.hasErrors();
     }
     // User schedules were rejected before this point, so errors here mean
-    // the optimizer itself produced an illegal schedule.
+    // the optimizer itself produced an illegal schedule. Warning verdicts
+    // (e.g. an NT store the nest re-reads) print above but do not fail:
+    // only Error severity takes the schedule-rejected exit.
     if (AnyErrors) {
       std::fprintf(stderr, "error: schedule failed verification\n");
-      return 1;
+      return 2;
     }
   }
 

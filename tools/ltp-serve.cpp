@@ -65,6 +65,8 @@ void printUsage() {
       "  --size N            problem size (0 = kernel default)\n"
       "  --arch NAME         5930k|6700|a15|host (default host)\n"
       "  --schedule \"...\"    replay this schedule instead of optimizing\n"
+      "  --lint              request static diagnostics instead of\n"
+      "                      compiled kernels (op \"lint\")\n"
       "  --score-mode M      analytic|sim|auto\n"
       "  --no-nti            disable non-temporal stores\n"
       "  --no-compile        skip kernel compilation for this request\n"
@@ -105,7 +107,9 @@ std::string buildRequest(const ArgParse &Args) {
     return "{\"op\": \"shutdown\"}";
   if (!Args.has("kernel"))
     return "";
-  std::string Req = "{\"op\": \"optimize\", \"kernel\": \"" +
+  std::string Req = std::string("{\"op\": \"") +
+                    (Args.has("lint") ? "lint" : "optimize") +
+                    "\", \"kernel\": \"" +
                     jsonEscape(Args.getString("kernel", "")) + "\"";
   if (Args.has("size"))
     Req += ", \"size\": " + std::to_string(Args.getInt("size", 0));
