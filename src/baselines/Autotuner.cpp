@@ -7,6 +7,7 @@
 #include "benchmarks/PipelineRunner.h"
 #include "core/AccessInfo.h"
 #include "model/MissModel.h"
+#include "obs/Metrics.h"
 #include "obs/Provenance.h"
 #include "obs/Telemetry.h"
 #include "support/Format.h"
@@ -370,5 +371,9 @@ AutotuneOutcome ltp::autotune(BenchmarkInstance &Instance,
     obs::endDecision(Outcome.BestDescription.empty()
                          ? "no candidate evaluated"
                          : Outcome.BestDescription);
+  if (obs::metricsEnabled()) {
+    static obs::Histogram &SearchHist = obs::histogram("autotune.search_ms");
+    SearchHist.observe(Budget.elapsedMillis());
+  }
   return Outcome;
 }

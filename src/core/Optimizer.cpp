@@ -3,6 +3,7 @@
 #include "core/Optimizer.h"
 
 #include "analysis/Legality.h"
+#include "obs/Metrics.h"
 #include "obs/Provenance.h"
 #include "obs/Telemetry.h"
 #include "support/Format.h"
@@ -114,6 +115,10 @@ StagePlan ltp::planStage(const Func &F,
   if (Plan.NonTemporalOutput)
     Plan.Description += " +NTI";
   obs::endDecision(Plan.Description);
+  if (obs::metricsEnabled()) {
+    static obs::Histogram &PlanHist = obs::histogram("opt.plan_ms");
+    PlanHist.observe(T.elapsedMillis());
+  }
   return Plan;
 }
 

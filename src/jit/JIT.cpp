@@ -2,9 +2,11 @@
 
 #include "jit/JIT.h"
 
+#include "obs/Metrics.h"
 #include "obs/Telemetry.h"
 #include "runtime/ThreadPool.h"
 #include "support/Format.h"
+#include "support/Timer.h"
 
 #include <atomic>
 #include <cassert>
@@ -306,11 +308,28 @@ JITCompiler::MemoShard &JITCompiler::shardFor(const std::string &Key) {
   return MemoShards[H % NumMemoShards];
 }
 
+namespace {
+
+/// Observes `jit.compile_ms` on scope exit so every compile() return path
+/// (memo hit, build error, success) lands in the histogram.
+struct CompileLatencyScope {
+  Timer T;
+  ~CompileLatencyScope() {
+    if (obs::metricsEnabled()) {
+      static obs::Histogram &H = obs::histogram("jit.compile_ms");
+      H.observe(T.elapsedMillis());
+    }
+  }
+};
+
+} // namespace
+
 ErrorOr<CompiledKernel>
 JITCompiler::compile(const ir::StmtPtr &S,
                      const std::vector<BufferBinding> &Signature,
                      const CodeGenOptions &Options) {
   obs::ScopedSpan Span("jit.compile");
+  CompileLatencyScope LatencyScope;
   std::string KernelName = "ltp_kernel";
   std::string Source = generateC(S, Signature, KernelName, Options);
   std::string Flags = buildFlags(Options);

@@ -1,0 +1,123 @@
+//===- FlightRecorder.cpp - ring buffer of recent request digests ---------===//
+
+#include "obs/FlightRecorder.h"
+
+#include "obs/Log.h"
+#include "support/Format.h"
+
+#include <atomic>
+
+using namespace ltp;
+using namespace ltp::obs;
+
+std::string ltp::obs::digestJson(const RequestDigest &D) {
+  std::string Out = "{";
+  Out += strFormat("\"request_id\": \"%s\"", jsonEscape(D.RequestId).c_str());
+  Out += strFormat(", \"op\": \"%s\"", jsonEscape(D.Op).c_str());
+  if (!D.Kernel.empty())
+    Out += strFormat(", \"kernel\": \"%s\"", jsonEscape(D.Kernel).c_str());
+  if (!D.KeyHash.empty())
+    Out += strFormat(", \"key\": \"%s\"", jsonEscape(D.KeyHash).c_str());
+  if (!D.Dedup.empty())
+    Out += strFormat(", \"dedup\": \"%s\"", jsonEscape(D.Dedup).c_str());
+  Out += strFormat(", \"ok\": %s", D.Ok ? "true" : "false");
+  if (!D.Error.empty())
+    Out += strFormat(", \"error\": \"%s\"", jsonEscape(D.Error).c_str());
+  if (!D.SoPath.empty())
+    Out += strFormat(", \"so\": \"%s\"", jsonEscape(D.SoPath).c_str());
+  Out += strFormat(", \"unix_ms\": %lld",
+                   static_cast<long long>(D.UnixMillis));
+  Out += strFormat(", \"total_ms\": %.4f", D.TotalMillis);
+  if (D.OptMillis > 0.0)
+    Out += strFormat(", \"opt_ms\": %.4f", D.OptMillis);
+  if (D.CompileMillis > 0.0)
+    Out += strFormat(", \"compile_ms\": %.4f", D.CompileMillis);
+  if (!D.StageMillis.empty()) {
+    Out += ", \"stages\": {";
+    bool First = true;
+    for (const auto &[Stage, Millis] : D.StageMillis) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += strFormat("\"%s\": %.4f", jsonEscape(Stage).c_str(), Millis);
+    }
+    Out += "}";
+  }
+  Out += "}";
+  return Out;
+}
+
+FlightRecorder::FlightRecorder(size_t Capacity)
+    : Cap(Capacity == 0 ? 1 : Capacity) {
+  Ring.reserve(Cap);
+}
+
+void FlightRecorder::record(RequestDigest D) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Ring.size() < Cap) {
+    Ring.push_back(std::move(D));
+  } else {
+    Ring[Next] = std::move(D);
+  }
+  Next = (Next + 1) % Cap;
+  ++Recorded;
+}
+
+std::vector<RequestDigest> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<RequestDigest> Out;
+  Out.reserve(Ring.size());
+  if (Ring.size() < Cap) {
+    Out = Ring;
+  } else {
+    // The ring is full: Next is the oldest entry.
+    for (size_t I = 0; I != Cap; ++I)
+      Out.push_back(Ring[(Next + I) % Cap]);
+  }
+  return Out;
+}
+
+uint64_t FlightRecorder::totalRecorded() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Recorded;
+}
+
+std::string FlightRecorder::requestsJsonArray() const {
+  std::vector<RequestDigest> Digests = snapshot();
+  std::string Out = "[";
+  for (size_t I = 0; I != Digests.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += digestJson(Digests[I]);
+  }
+  Out += "]";
+  return Out;
+}
+
+std::string FlightRecorder::dumpJson() const {
+  uint64_t Total = totalRecorded();
+  return strFormat("{\"flight_recorder\": %s, \"capacity\": %zu, "
+                   "\"recorded\": %llu}",
+                   requestsJsonArray().c_str(), Cap,
+                   static_cast<unsigned long long>(Total));
+}
+
+FlightRecorder &ltp::obs::flightRecorder() {
+  // Never destroyed: connection threads may record during teardown.
+  static FlightRecorder *Recorder = new FlightRecorder();
+  return *Recorder;
+}
+
+namespace {
+
+std::atomic<double> SlowThresholdMs{1000.0};
+
+} // namespace
+
+double ltp::obs::slowRequestThresholdMs() {
+  return SlowThresholdMs.load(std::memory_order_relaxed);
+}
+
+void ltp::obs::setSlowRequestThresholdMs(double Millis) {
+  SlowThresholdMs.store(Millis, std::memory_order_relaxed);
+}

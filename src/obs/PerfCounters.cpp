@@ -4,6 +4,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 
 #ifdef __linux__
 #include <linux/perf_event.h>
@@ -71,6 +72,13 @@ int openEvent(PerfEvent E, std::string *Error) {
 
 PerfCounterSet::PerfCounterSet(const std::vector<PerfEvent> &Events)
     : Events(Events) {
+  // Known-refused hosts (containers, perf_event_paranoid): skip the
+  // per-event syscalls entirely instead of collecting EACCES once per
+  // request.
+  if (!available(&Error)) {
+    Fds.assign(Events.size(), -1);
+    return;
+  }
   Fds.reserve(Events.size());
   for (PerfEvent E : Events)
     Fds.push_back(openEvent(E, &Error));
@@ -109,16 +117,41 @@ PerfSnapshot PerfCounterSet::read() const {
   return Snapshot;
 }
 
+namespace {
+
+/// Cached result of the one-time availability probe. perf access does
+/// not change while the process runs (paranoid level and seccomp policy
+/// are fixed at exec), so repeated failures — e.g. one PerfCounterSet
+/// per served request inside a container — must not re-issue the
+/// syscall every time.
+struct ProbeCache {
+  std::once_flag Once;
+  bool Available = false;
+  std::string Reason;
+};
+
+ProbeCache &probeCache() {
+  static ProbeCache *Cache = new ProbeCache();
+  return *Cache;
+}
+
+} // namespace
+
 bool PerfCounterSet::available(std::string *Reason) {
-  std::string Error;
-  int Fd = openEvent(PerfEvent::L1DReadAccess, &Error);
-  if (Fd < 0) {
-    if (Reason)
-      *Reason = Error;
-    return false;
-  }
-  ::close(Fd);
-  return true;
+  ProbeCache &Cache = probeCache();
+  std::call_once(Cache.Once, [&Cache] {
+    std::string Error;
+    int Fd = openEvent(PerfEvent::L1DReadAccess, &Error);
+    if (Fd < 0) {
+      Cache.Reason = Error;
+      return;
+    }
+    ::close(Fd);
+    Cache.Available = true;
+  });
+  if (!Cache.Available && Reason)
+    *Reason = Cache.Reason;
+  return Cache.Available;
 }
 
 #else // !__linux__

@@ -82,8 +82,10 @@ public:
   const std::string &error() const { return Error; }
 
   /// Quick probe: can this process count *anything* on the PMU? Opens
-  /// and immediately closes a trial counter. False inside containers
-  /// without perf access.
+  /// and immediately closes a trial counter — once; the verdict (and
+  /// the refusal reason) is cached for the process lifetime, so callers
+  /// that construct a set per request don't re-issue a failing syscall
+  /// every time. False inside containers without perf access.
   static bool available(std::string *Reason = nullptr);
 
 private:

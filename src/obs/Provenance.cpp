@@ -2,6 +2,8 @@
 
 #include "obs/Provenance.h"
 
+#include "obs/Log.h"
+
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -44,6 +46,7 @@ void ltp::obs::beginDecision(const std::string &Stage,
   CurrentDecision = std::make_unique<DecisionRecord>();
   CurrentDecision->Stage = Stage;
   CurrentDecision->Classification = Classification;
+  CurrentDecision->RequestId = currentRequestId();
 }
 
 void ltp::obs::recordCandidate(CandidateRecord Record) {

@@ -59,6 +59,10 @@ struct DecisionRecord {
   std::string Stage;          ///< Func name
   std::string Classification; ///< classifier verdict (Figure 3)
   std::string Chosen;         ///< final schedule description
+  /// The serve request this decision belongs to (obs::currentRequestId()
+  /// at beginDecision time; empty outside a request scope), joining
+  /// provenance against log lines and spans.
+  std::string RequestId;
   std::vector<CandidateRecord> Candidates;
 };
 

@@ -2,6 +2,7 @@
 
 #include "obs/Telemetry.h"
 
+#include "obs/Log.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -68,6 +69,7 @@ namespace {
 struct SpanEvent {
   const char *Name;
   std::string Args;
+  std::string Rid; ///< request ID bound to the thread when recorded
   int64_t StartNs;
   int64_t DurNs;
 };
@@ -112,8 +114,9 @@ void ScopedSpan::record() {
   int64_t EndNs = nowNs();
   ThreadBuffer &Buffer = threadBuffer();
   std::lock_guard<std::mutex> Lock(Buffer.Mutex);
-  Buffer.Events.push_back(
-      SpanEvent{Name, std::move(Args), StartNs, EndNs - StartNs});
+  Buffer.Events.push_back(SpanEvent{Name, std::move(Args),
+                                    currentRequestId(), StartNs,
+                                    EndNs - StartNs});
 }
 
 size_t ltp::obs::traceEventCount() {
@@ -185,41 +188,6 @@ void ltp::obs::resetCounters() {
 // Trace export
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// JSON string escape (control characters, quotes, backslashes).
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size() + 2);
-  for (unsigned char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    default:
-      if (C < 0x20)
-        Out += strFormat("\\u%04x", C);
-      else
-        Out += static_cast<char>(C);
-    }
-  }
-  return Out;
-}
-
-} // namespace
-
 bool ltp::obs::writeTrace(const std::string &Path, std::string *Error) {
   // Snapshot all buffers (brief per-buffer locks), then format outside
   // any lock.
@@ -273,9 +241,15 @@ bool ltp::obs::writeTrace(const std::string &Path, std::string *Error) {
                    jsonEscape(E.Name).c_str(),
                    static_cast<double>(E.StartNs) / 1e3,
                    static_cast<double>(E.DurNs) / 1e3, S.Tid);
-      if (!E.Args.empty())
-        std::fprintf(Out, ",\"args\":{\"detail\":\"%s\"}",
-                     jsonEscape(E.Args).c_str());
+      if (!E.Args.empty() || !E.Rid.empty()) {
+        std::fputs(",\"args\":{", Out);
+        if (!E.Args.empty())
+          std::fprintf(Out, "\"detail\":\"%s\"", jsonEscape(E.Args).c_str());
+        if (!E.Rid.empty())
+          std::fprintf(Out, "%s\"rid\":\"%s\"", E.Args.empty() ? "" : ",",
+                       jsonEscape(E.Rid).c_str());
+        std::fputs("}", Out);
+      }
       std::fputs("}", Out);
     }
   }

@@ -2,6 +2,7 @@
 
 #include "serve/BatchCompiler.h"
 
+#include "obs/Metrics.h"
 #include "obs/Telemetry.h"
 #include "support/Format.h"
 
@@ -23,6 +24,17 @@ obs::Counter &jobsCounter() {
   return C;
 }
 
+/// Mirrors the queue depth into the metrics registry so the Prometheus
+/// exposition types it as the gauge it is (the Counter above stays for
+/// the stats-op surface).
+void setQueueDepth(int64_t Depth) {
+  queueDepthGauge().set(Depth);
+  if (obs::metricsEnabled()) {
+    static obs::Gauge &G = obs::gauge("serve.batch_queue_depth");
+    G.set(Depth);
+  }
+}
+
 } // namespace
 
 BatchCompiler::BatchCompiler(JITCompiler &Compiler) : Compiler(Compiler) {
@@ -39,14 +51,15 @@ BatchCompiler::~BatchCompiler() {
 }
 
 std::future<BatchCompiler::BatchResult>
-BatchCompiler::submit(std::vector<CompileJob> Jobs) {
+BatchCompiler::submit(std::vector<CompileJob> Jobs, std::string RequestId) {
   Pending P;
   P.Jobs = std::move(Jobs);
+  P.RequestId = std::move(RequestId);
   std::future<BatchResult> F = P.Result.get_future();
   {
     std::lock_guard<std::mutex> Lock(Mu);
     Queue.push_back(std::move(P));
-    queueDepthGauge().set(static_cast<int64_t>(Queue.size()));
+    setQueueDepth(static_cast<int64_t>(Queue.size()));
   }
   HasWork.notify_one();
   return F;
@@ -62,14 +75,19 @@ void BatchCompiler::drainLoop() {
     // runs coalesce into the next flush.
     std::vector<Pending> Taken;
     Taken.swap(Queue);
-    queueDepthGauge().set(0);
+    setQueueDepth(0);
     Lock.unlock();
 
     std::vector<CompileJob> All;
     for (const Pending &P : Taken)
       All.insert(All.end(), P.Jobs.begin(), P.Jobs.end());
     obs::ScopedSpan Span("serve.batch", [&] {
-      return strFormat("batches=%zu jobs=%zu", Taken.size(), All.size());
+      std::string Detail =
+          strFormat("batches=%zu jobs=%zu", Taken.size(), All.size());
+      for (const Pending &P : Taken)
+        if (!P.RequestId.empty())
+          Detail += " rid=" + P.RequestId;
+      return Detail;
     });
     flushesCounter().add();
     jobsCounter().add(static_cast<int64_t>(All.size()));

@@ -15,7 +15,11 @@
 /// the process thread pool) instead of N serialized compiles.
 ///
 /// Telemetry: `serve.queue_depth` (gauge: batches waiting when the
-/// drainer last looked), `serve.batch.flushes`, `serve.batch.jobs`.
+/// drainer last looked; mirrored into the metrics-registry gauge
+/// `serve.batch_queue_depth` for the Prometheus surface),
+/// `serve.batch.flushes`, `serve.batch.jobs`. Each flush's span lists
+/// the request IDs whose jobs it carried, so a batched compile is
+/// attributable to the requests that coalesced into it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +31,7 @@
 #include <condition_variable>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -46,12 +51,16 @@ public:
 
   /// Enqueues \p Jobs as one batch; the future resolves with results in
   /// job order once the drainer's compileMany containing them returns.
-  std::future<BatchResult> submit(std::vector<CompileJob> Jobs);
+  /// \p RequestId, when non-empty, attributes the batch's share of the
+  /// flush span to the originating request.
+  std::future<BatchResult> submit(std::vector<CompileJob> Jobs,
+                                  std::string RequestId = {});
 
 private:
   struct Pending {
     std::vector<CompileJob> Jobs;
     std::promise<BatchResult> Result;
+    std::string RequestId;
   };
 
   void drainLoop();

@@ -7,8 +7,12 @@
 #include "core/Classifier.h"
 #include "lang/Bounds.h"
 #include "lang/ScheduleText.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
 #include "obs/Telemetry.h"
 #include "serve/Session.h"
+#include "support/Format.h"
 
 #include <chrono>
 
@@ -48,6 +52,20 @@ double millisSince(std::chrono::steady_clock::time_point Start) {
       .count();
 }
 
+void observeOptMillis(double Millis) {
+  if (!obs::metricsEnabled())
+    return;
+  static obs::Histogram &H = obs::histogram("serve.opt_ms");
+  H.observe(Millis);
+}
+
+void observeCompileMillis(double Millis) {
+  if (!obs::metricsEnabled())
+    return;
+  static obs::Histogram &H = obs::histogram("serve.compile_ms");
+  H.observe(Millis);
+}
+
 /// Compute-stage index of \p F (last update for reductions, -1 = pure).
 int scheduleStageIndex(const Func &F) {
   return F.numUpdates() > 0 ? F.numUpdates() - 1 : -1;
@@ -76,10 +94,22 @@ size_t OptimizerService::dedupTableSize() {
 }
 
 Response OptimizerService::handle(const Request &Req) {
-  obs::ScopedSpan Span("serve.request",
-                       [&] { return Req.Kernel; });
+  auto Start = std::chrono::steady_clock::now();
+  Request RidReq = Req;
+  if (RidReq.RequestId.empty())
+    RidReq.RequestId = mintRequestId();
+  // Everything recorded on this thread until the response is final —
+  // spans, log lines, provenance decisions — joins on this ID.
+  obs::RequestIdScope RidScope(RidReq.RequestId);
+  obs::ScopedSpan Span("serve.request", [&] { return RidReq.Kernel; });
   requestsCounter().add();
 
+  Response R = handleKeyed(RidReq);
+  finishRequest(RidReq, R, millisSince(Start));
+  return R;
+}
+
+Response OptimizerService::handleKeyed(const Request &Req) {
   if (Req.Op != "optimize" && Req.Op != "lint")
     return badRequest(Req, "op '" + Req.Op + "' is not servable here");
 
@@ -120,6 +150,10 @@ Response OptimizerService::handle(const Request &Req) {
       Owner = true;
     }
     E = Slot;
+    if (obs::metricsEnabled()) {
+      static obs::Gauge &TableGauge = obs::gauge("serve.dedup_table_size");
+      TableGauge.set(static_cast<int64_t>(Table.size()));
+    }
   }
 
   if (Owner) {
@@ -157,7 +191,72 @@ Response OptimizerService::handle(const Request &Req) {
     errorsCounter().add();
   R.Id = Req.Id;
   R.Dedup = Outcome;
+  // The owner's stage timings describe *its* run, not this duplicate's
+  // table lookup — drop them so digests stay truthful.
+  R.StageMillis.clear();
   return R;
+}
+
+void OptimizerService::finishRequest(const Request &Req, Response &R,
+                                     double TotalMillis) {
+  R.RequestId = Req.RequestId;
+
+  if (obs::metricsEnabled()) {
+    static obs::Histogram &RequestHist = obs::histogram("serve.request_ms");
+    RequestHist.observe(TotalMillis);
+  }
+
+  obs::RequestDigest D;
+  D.RequestId = Req.RequestId;
+  D.Op = Req.Op;
+  D.Kernel = Req.Kernel;
+  D.KeyHash = R.KeyHash;
+  if (!R.KeyHash.empty())
+    D.Dedup = dedupOutcomeName(R.Dedup);
+  D.Ok = R.Ok;
+  D.Error = R.Error;
+  if (!R.SoPaths.empty())
+    D.SoPath = R.SoPaths.front();
+  D.TotalMillis = TotalMillis;
+  D.OptMillis = R.OptMillis;
+  D.CompileMillis = R.CompileMillis;
+  D.UnixMillis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::system_clock::now().time_since_epoch())
+                     .count();
+  D.StageMillis = R.StageMillis;
+  obs::flightRecorder().record(std::move(D));
+
+  if (obs::logEnabled(obs::LogLevel::Info))
+    obs::logEvent(obs::LogLevel::Info, "serve", "request",
+                  {{"op", Req.Op},
+                   {"kernel", Req.Kernel},
+                   {"ok", R.Ok},
+                   {"dedup", dedupOutcomeName(R.Dedup)},
+                   {"key", R.KeyHash},
+                   {"total_ms", TotalMillis}});
+
+  double SlowMillis = obs::slowRequestThresholdMs();
+  if (SlowMillis > 0 && TotalMillis >= SlowMillis &&
+      obs::logEnabled(obs::LogLevel::Warn)) {
+    // The request's span tree, flattened: per-stage wall times plus the
+    // optimizer/compile splits — enough to see where the time went
+    // without tracing having been on.
+    std::string Stages = "{";
+    for (size_t I = 0; I != R.StageMillis.size(); ++I)
+      Stages += strFormat("%s\"%s\": %.4f", I ? ", " : "",
+                          obs::jsonEscape(R.StageMillis[I].first).c_str(),
+                          R.StageMillis[I].second);
+    Stages += "}";
+    obs::logEvent(obs::LogLevel::Warn, "serve", "slow request",
+                  {{"op", Req.Op},
+                   {"kernel", Req.Kernel},
+                   {"dedup", dedupOutcomeName(R.Dedup)},
+                   {"total_ms", TotalMillis},
+                   {"opt_ms", R.OptMillis},
+                   {"compile_ms", R.CompileMillis},
+                   {"threshold_ms", SlowMillis},
+                   obs::LogField::raw("stages", Stages)});
+  }
 }
 
 Response OptimizerService::runSession(const Request &Req,
@@ -176,6 +275,7 @@ Response OptimizerService::runSession(const Request &Req,
   auto OptStart = std::chrono::steady_clock::now();
   if (!scheduleSession(Sess)) {
     Sess.Resp.OptMillis = millisSince(OptStart);
+    observeOptMillis(Sess.Resp.OptMillis);
     return Sess.Resp;
   }
 
@@ -183,6 +283,7 @@ Response OptimizerService::runSession(const Request &Req,
     // Static diagnostics over every stage's schedule (the one just
     // replayed or the one the optimizer just chose). Findings do not
     // fail the response: an empty `diagnostics` array means clean.
+    auto LintStart = std::chrono::steady_clock::now();
     lint::LintOptions LO;
     LO.Score = Sess.Mode;
     for (size_t S = 0; S != Sess.Instance.Stages.size(); ++S) {
@@ -194,12 +295,15 @@ Response OptimizerService::runSession(const Request &Req,
         Sess.Resp.DiagnosticsJson.push_back(
             lint::diagnosticJson(D, static_cast<int>(S)));
     }
+    Sess.Resp.StageMillis.emplace_back("lint", millisSince(LintStart));
     Sess.Resp.LintRan = true;
     Sess.Resp.OptMillis = millisSince(OptStart);
+    observeOptMillis(Sess.Resp.OptMillis);
     Sess.Resp.Ok = true;
     return Sess.Resp;
   }
   Sess.Resp.OptMillis = millisSince(OptStart);
+  observeOptMillis(Sess.Resp.OptMillis);
 
   if (Req.Compile && !compileSession(Sess))
     return Sess.Resp;
@@ -213,11 +317,13 @@ bool OptimizerService::scheduleSession(Session &Sess) {
   if (!Sess.Req.Schedule.empty()) {
     // Replay the client's schedule (verified) on the compute stage of
     // the last pipeline stage, mirroring `ltp-opt --schedule`.
+    auto ReplayStart = std::chrono::steady_clock::now();
     Func &F = Sess.Instance.Stages.back();
     F.clearSchedules();
     int Stage = scheduleStageIndex(F);
     auto Applied = applyVerifiedScheduleText(
         F, Stage, Sess.Req.Schedule, Sess.Instance.StageExtents.back());
+    R.StageMillis.emplace_back("schedule.replay", millisSince(ReplayStart));
     if (!Applied) {
       R.Kind = ErrorKind::IllegalSchedule;
       R.Error = Applied.getError();
@@ -231,10 +337,14 @@ bool OptimizerService::scheduleSession(Session &Sess) {
   OptimizerOptions Options;
   Options.EnableNonTemporal = Sess.Req.EnableNTI;
   Options.Temporal.Score = Sess.Mode;
-  for (size_t S = 0; S != Sess.Instance.Stages.size(); ++S)
+  for (size_t S = 0; S != Sess.Instance.Stages.size(); ++S) {
+    auto StageStart = std::chrono::steady_clock::now();
     Sess.StageResults.push_back(optimize(Sess.Instance.Stages[S],
                                          Sess.Instance.StageExtents[S],
                                          Sess.Arch, Options));
+    R.StageMillis.emplace_back(strFormat("opt.stage%zu", S),
+                               millisSince(StageStart));
+  }
 
   const OptimizationResult &Last = Sess.StageResults.back();
   R.Class = statementClassName(Last.Class.Kind);
@@ -252,6 +362,7 @@ bool OptimizerService::compileSession(Session &Sess) {
     return false;
   }
 
+  auto LowerStart = std::chrono::steady_clock::now();
   Sess.Lowered = lowerPipeline(Sess.Instance);
   for (const ir::StmtPtr &S : Sess.Lowered) {
     std::string Diag = validateAccesses(S, Sess.Instance.Buffers);
@@ -261,6 +372,7 @@ bool OptimizerService::compileSession(Session &Sess) {
       return false;
     }
   }
+  R.StageMillis.emplace_back("lower", millisSince(LowerStart));
 
   std::vector<BufferBinding> Signature;
   for (const auto &[Name, Ref] : Sess.Instance.Buffers)
@@ -275,8 +387,11 @@ bool OptimizerService::compileSession(Session &Sess) {
     Jobs.push_back(CompileJob{S, Signature, CG});
 
   auto CompileStart = std::chrono::steady_clock::now();
-  BatchCompiler::BatchResult Results = Batcher.submit(std::move(Jobs)).get();
+  BatchCompiler::BatchResult Results =
+      Batcher.submit(std::move(Jobs), Sess.Req.RequestId).get();
   R.CompileMillis = millisSince(CompileStart);
+  R.StageMillis.emplace_back("compile", R.CompileMillis);
+  observeCompileMillis(R.CompileMillis);
 
   for (ErrorOr<CompiledKernel> &K : Results) {
     if (!K) {

@@ -64,7 +64,10 @@ public:
   OptimizerService(const OptimizerService &) = delete;
   OptimizerService &operator=(const OptimizerService &) = delete;
 
-  /// Serves one optimize request (thread-safe, blocking).
+  /// Serves one optimize request (thread-safe, blocking). Mints a
+  /// request ID when the transport layer did not, binds it to the
+  /// handling thread (logs/spans/provenance), and records a
+  /// flight-recorder digest for every outcome.
   Response handle(const Request &Req);
 
   /// The shared kernel store underneath (tests and stats).
@@ -83,6 +86,15 @@ private:
     bool Done = false;
     Response Template;
   };
+
+  /// Dedup lookup + owner/duplicate resolution (the body of handle()
+  /// minus per-request observability).
+  Response handleKeyed(const Request &Req);
+
+  /// Per-request epilogue: stamps the request ID onto \p R, observes the
+  /// latency histogram, records the flight-recorder digest, and emits
+  /// the structured request / slow-request log lines.
+  void finishRequest(const Request &Req, Response &R, double TotalMillis);
 
   /// Runs a full per-request session (dedup miss path); returns the
   /// response template.

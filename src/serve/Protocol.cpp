@@ -4,41 +4,19 @@
 
 #include "arch/ArchFile.h"
 #include "obs/JsonCheck.h"
+#include "obs/Log.h"
 #include "support/Format.h"
 
+#include <atomic>
 #include <cmath>
+#include <unistd.h>
 
 using namespace ltp;
 using namespace ltp::serve;
 
 namespace {
 
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size() + 8);
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20)
-        Out += strFormat("\\u%04x", C);
-      else
-        Out += C;
-    }
-  }
-  return Out;
-}
+using obs::jsonEscape;
 
 /// Reads an integral JSON number; rejects fractions (a fractional size
 /// is a client bug, not something to round silently).
@@ -92,12 +70,21 @@ ErrorOr<Request> ltp::serve::parseRequest(const std::string &Line) {
     }
   }
   if (Req.Op != "optimize" && Req.Op != "lint" && Req.Op != "stats" &&
-      Req.Op != "ping" && Req.Op != "shutdown")
+      Req.Op != "metrics" && Req.Op != "dump" && Req.Op != "ping" &&
+      Req.Op != "shutdown")
     return ErrorOr<Request>::makeError("unknown op '" + Req.Op + "'");
   if ((Req.Op == "optimize" || Req.Op == "lint") && Req.Kernel.empty())
     return ErrorOr<Request>::makeError(Req.Op +
                                        " request is missing 'kernel'");
   return Req;
+}
+
+std::string ltp::serve::mintRequestId() {
+  static std::atomic<uint64_t> NextSeq{1};
+  static const long Pid = static_cast<long>(::getpid());
+  return strFormat("r-%ld-%llu", Pid,
+                   static_cast<unsigned long long>(
+                       NextSeq.fetch_add(1, std::memory_order_relaxed)));
 }
 
 ErrorOr<ArchParams> ltp::serve::resolveArch(const Request &Req) {
@@ -171,6 +158,8 @@ std::string ltp::serve::renderResponse(const Response &R) {
   Out += strFormat("\"ok\": %s", R.Ok ? "true" : "false");
   if (!R.Id.empty())
     Out += ", \"id\": \"" + jsonEscape(R.Id) + "\"";
+  if (!R.RequestId.empty())
+    Out += ", \"request_id\": \"" + jsonEscape(R.RequestId) + "\"";
   if (!R.Ok) {
     Out += ", \"kind\": \"" + std::string(errorKindName(R.Kind)) + "\"";
     Out += ", \"error\": \"" + jsonEscape(R.Error) + "\"";

@@ -16,7 +16,12 @@
 ///   {"op":"optimize","kernel":"matmul",
 ///    "schedule":"split(i,it,ii,32); parallel(it);"}
 ///   {"op":"lint","kernel":"matmul","schedule":"reorder(i, j, k);"}
-///   {"op":"stats"}  {"op":"ping"}  {"op":"shutdown"}
+///   {"op":"stats"}  {"op":"metrics"}  {"op":"dump"}
+///   {"op":"ping"}  {"op":"shutdown"}
+///
+/// Every response carries a server-minted `request_id`, the join key
+/// across structured log lines, trace spans, provenance records and
+/// flight-recorder digests for that request.
 ///
 /// Requests are *canonicalized* before dedup keying: the key is the full
 /// resolved request text — kernel, size, schedule text, score mode, NTI
@@ -34,6 +39,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ltp {
@@ -41,12 +47,17 @@ namespace serve {
 
 /// One parsed request line.
 struct Request {
-  /// "optimize" (default), "lint", "stats", "ping" or "shutdown". A lint
-  /// request schedules like optimize (replaying `schedule` when present)
-  /// but returns static diagnostics instead of compiled kernels.
+  /// "optimize" (default), "lint", "stats", "metrics", "dump", "ping" or
+  /// "shutdown". A lint request schedules like optimize (replaying
+  /// `schedule` when present) but returns static diagnostics instead of
+  /// compiled kernels; "metrics" returns the Prometheus exposition and
+  /// "dump" the flight-recorder ring.
   std::string Op = "optimize";
   /// Client-chosen identifier echoed back verbatim (optional).
   std::string Id;
+  /// Server-minted per-request ID (mintRequestId). Not a wire field —
+  /// clients cannot set it; the protocol layer stamps it on arrival.
+  std::string RequestId;
   /// Benchmark kernel name (allBenchmarks/extendedBenchmarks).
   std::string Kernel;
   /// Problem size; 0 = the kernel's container-scaled default.
@@ -71,6 +82,12 @@ struct Request {
 /// Parses one request line. Unknown fields are an error (they are most
 /// likely typos of known ones).
 ErrorOr<Request> parseRequest(const std::string &Line);
+
+/// Mints a process-unique request ID ("r-<pid>-<seq>"). Called by the
+/// transport layer on every parsed request (and by the service for
+/// requests that arrive without one, e.g. direct handle() calls in
+/// tests and benches).
+std::string mintRequestId();
 
 /// Resolves the request's platform: ArchText when present, else the
 /// named platform.
@@ -110,6 +127,8 @@ const char *errorKindName(ErrorKind K);
 struct Response {
   bool Ok = false;
   std::string Id;
+  /// Server-minted ID of the request this answers (see Request).
+  std::string RequestId;
   ErrorKind Kind = ErrorKind::None;
   std::string Error;
   std::string Kernel;
@@ -127,6 +146,11 @@ struct Response {
   std::string KeyHash; ///< canonical-key hash (dedup debugging)
   double OptMillis = 0.0;
   double CompileMillis = 0.0;
+  /// Per-stage wall times ("opt.stage0", "lint", "compile", ...) in
+  /// execution order. Not serialized onto the wire; feeds the flight
+  /// recorder and the slow-request log. Only the dedup owner carries
+  /// them (duplicates did not run the stages).
+  std::vector<std::pair<std::string, double>> StageMillis;
 };
 
 /// Renders \p R as one JSON line (no trailing newline).

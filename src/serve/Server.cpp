@@ -2,6 +2,9 @@
 
 #include "serve/Server.h"
 
+#include "obs/FlightRecorder.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
 #include "obs/Telemetry.h"
 #include "support/Format.h"
 
@@ -49,8 +52,46 @@ std::string statsJson() {
     Out += strFormat("\"%s\": %lld", Name.c_str(),
                      static_cast<long long>(Value));
   }
+  Out += "}, \"gauges\": {";
+  First = true;
+  for (const auto &[Name, Value] : obs::gaugeSnapshot()) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += strFormat("\"%s\": %lld", Name.c_str(),
+                     static_cast<long long>(Value));
+  }
   Out += "}}";
   return Out;
+}
+
+/// Common prefix of the inline-op responses: ok + echoed id + the
+/// request ID minted for this line.
+std::string responseHead(const Request &Req) {
+  std::string Out = "{\"ok\": true";
+  if (!Req.Id.empty())
+    Out += ", \"id\": \"" + obs::jsonEscape(Req.Id) + "\"";
+  if (!Req.RequestId.empty())
+    Out += ", \"request_id\": \"" + obs::jsonEscape(Req.RequestId) + "\"";
+  return Out;
+}
+
+std::string metricsJson(const Request &Req) {
+  // The exposition text rides inside the NDJSON envelope as one escaped
+  // string field, keeping the wire protocol uniformly line-JSON; the
+  // client's --metrics flag unescapes it back to scrapeable text.
+  return responseHead(Req) + ", \"metrics\": \"" +
+         obs::jsonEscape(obs::renderPrometheusText()) + "\"}";
+}
+
+std::string dumpJson(const Request &Req) {
+  obs::FlightRecorder &Recorder = obs::flightRecorder();
+  return responseHead(Req) +
+         strFormat(", \"flight_recorder\": %s, \"capacity\": %zu, "
+                   "\"recorded\": %llu}",
+                   Recorder.requestsJsonArray().c_str(), Recorder.capacity(),
+                   static_cast<unsigned long long>(
+                       Recorder.totalRecorded()));
 }
 
 } // namespace
@@ -115,6 +156,14 @@ void Server::acceptLoop() {
 }
 
 void Server::handleConnection(int Fd) {
+  // Live-connection gauge updates unconditionally (not gated on
+  // metricsEnabled) so the inc/dec pairing can never be split by a
+  // mid-connection toggle.
+  obs::Gauge &Live = obs::gauge("serve.live_connections");
+  Live.add(1);
+  if (obs::logEnabled(obs::LogLevel::Debug))
+    obs::logEvent(obs::LogLevel::Debug, "server", "connection open",
+                  {{"fd", static_cast<int64_t>(Fd)}});
   std::string Buffer;
   char Chunk[4096];
   bool Open = true;
@@ -142,18 +191,29 @@ void Server::handleConnection(int Fd) {
         R.Kind = ErrorKind::BadRequest;
         R.Error = Req.getError();
         obs::counter("serve.errors").add();
+        if (obs::logEnabled(obs::LogLevel::Warn))
+          obs::logEvent(obs::LogLevel::Warn, "server", "bad request",
+                        {{"error", Req.getError()}});
         Open = writeLine(Fd, renderResponse(R));
         continue;
       }
 
+      // Mint the per-request ID here, at the protocol boundary, so
+      // every downstream log line, span, provenance record, and flight
+      // digest for this line shares one join key.
+      Req->RequestId = mintRequestId();
+      obs::RequestIdScope RidScope(Req->RequestId);
+
       if (Req->Op == "ping") {
-        std::string Pong = "{\"ok\": true";
-        if (!Req->Id.empty())
-          Pong += ", \"id\": \"" + Req->Id + "\"";
+        std::string Pong = responseHead(*Req);
         Pong += ", \"pong\": true}";
         Open = writeLine(Fd, Pong);
       } else if (Req->Op == "stats") {
         Open = writeLine(Fd, statsJson());
+      } else if (Req->Op == "metrics") {
+        Open = writeLine(Fd, metricsJson(*Req));
+      } else if (Req->Op == "dump") {
+        Open = writeLine(Fd, dumpJson(*Req));
       } else if (Req->Op == "shutdown") {
         writeLine(Fd, "{\"ok\": true, \"stopping\": true}");
         requestStop();
@@ -171,6 +231,10 @@ void Server::handleConnection(int Fd) {
                   OpenFds.end());
   }
   ::close(Fd);
+  Live.add(-1);
+  if (obs::logEnabled(obs::LogLevel::Debug))
+    obs::logEvent(obs::LogLevel::Debug, "server", "connection closed",
+                  {{"fd", static_cast<int64_t>(Fd)}});
 }
 
 void Server::requestStop() {
@@ -178,7 +242,8 @@ void Server::requestStop() {
   StopCv.notify_all();
 }
 
-void Server::wait(const std::atomic<bool> *SignalFlag) {
+void Server::wait(const std::atomic<bool> *SignalFlag,
+                  const std::function<void()> &Poll) {
   std::unique_lock<std::mutex> Lock(StopMu);
   for (;;) {
     if (StopFlag.load())
@@ -187,6 +252,8 @@ void Server::wait(const std::atomic<bool> *SignalFlag) {
       StopFlag.store(true);
       break;
     }
+    if (Poll)
+      Poll();
     StopCv.wait_for(Lock, std::chrono::milliseconds(100));
   }
   Lock.unlock();

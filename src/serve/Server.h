@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -51,7 +52,11 @@ public:
 
   /// Blocks until a stop is requested (shutdown op, requestStop, or
   /// signal flag polled every 100ms), then tears the server down.
-  void wait(const std::atomic<bool> *SignalFlag = nullptr);
+  /// \p Poll, when set, runs on every 100ms wakeup on the waiting
+  /// thread — the daemon services async requests that must not run in
+  /// signal context there (SIGUSR2 flight-recorder dumps).
+  void wait(const std::atomic<bool> *SignalFlag = nullptr,
+            const std::function<void()> &Poll = {});
 
   /// Requests an orderly stop from any thread (non-blocking, safe to
   /// call repeatedly).

@@ -6,8 +6,9 @@
 // committed baseline and exits nonzero when any row regresses beyond the
 // threshold. Rows are matched by (bench, config); the compared metric
 // defaults to best_s (lower is better) and can be any numeric field of
-// the row — for cross-machine CI gates prefer a ratio metric such as
-// table5's `speedup` with --higher-better, which cancels the host's
+// the row, including a dotted path into nested objects (serve_load's
+// `latency.p99`) — for cross-machine CI gates prefer a ratio metric such
+// as table5's `speedup` with --higher-better, which cancels the host's
 // absolute speed out of the comparison.
 //
 //   ltp-bench-diff baseline.json current.json \
@@ -81,6 +82,25 @@ std::unique_ptr<JsonValue> loadReport(const std::string &Path) {
   return Root;
 }
 
+/// Resolves \p Metric against \p Row, descending through nested objects
+/// at each '.' ("latency.p99" -> Row["latency"]["p99"]). A plain name
+/// with no dots is a direct member lookup, so field names containing
+/// dots keep working when no nested object shadows them.
+const JsonValue *findMetric(const JsonValue &Row, const std::string &Metric) {
+  if (const JsonValue *Direct = Row.find(Metric))
+    return Direct;
+  const JsonValue *Node = &Row;
+  size_t Start = 0;
+  while (Node) {
+    size_t Dot = Metric.find('.', Start);
+    if (Dot == std::string::npos)
+      return Node->find(Metric.substr(Start));
+    Node = Node->find(Metric.substr(Start, Dot - Start));
+    Start = Dot + 1;
+  }
+  return nullptr;
+}
+
 /// (bench, config) -> metric value for every row carrying the metric as
 /// a non-negative number (timing fields are negative when unavailable).
 std::map<std::string, double> indexRows(const JsonValue &Root,
@@ -92,7 +112,7 @@ std::map<std::string, double> indexRows(const JsonValue &Root,
   for (const JsonValue &Row : Results->Elements) {
     const JsonValue *Bench = Row.find("bench");
     const JsonValue *Config = Row.find("config");
-    const JsonValue *Value = Row.find(Metric);
+    const JsonValue *Value = findMetric(Row, Metric);
     if (!Bench || !Bench->isString() || !Config || !Config->isString() ||
         !Value || !Value->isNumber() || Value->NumberValue < 0.0)
       continue;

@@ -1,0 +1,84 @@
+//===- ltp-metrics-check.cpp - validate a Prometheus metrics file ---------===//
+//
+// Part of the LTP project (CGO'18 prefetch-aware loop transformations).
+//
+// Standalone checker for the Prometheus text exposition written by the
+// `metrics` serve op and --metrics-file snapshots: validates the format
+// line by line (TYPE declarations, sample grammar) and the histogram
+// invariants the quantile math depends on (cumulative buckets, exactly
+// one trailing +Inf equal to _count, finite _sum). CI scrapes a live
+// daemon and runs this so a malformed exposition fails the build rather
+// than failing silently in a scrape pipeline.
+//
+// Usage: ltp-metrics-check <metrics.txt> [--require-metric NAME[,NAME...]]
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/MetricsCheck.h"
+#include "support/ArgParse.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ltp;
+
+namespace {
+
+/// Splits a comma-separated list, dropping empty entries.
+std::vector<std::string> splitList(const std::string &Text) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  std::istringstream In(Text);
+  while (std::getline(In, Cur, ','))
+    if (!Cur.empty())
+      Out.push_back(Cur);
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args(Argc, Argv);
+  if (Args.positional().empty()) {
+    std::fprintf(stderr, "usage: ltp-metrics-check <metrics.txt> "
+                         "[--require-metric NAME[,NAME...]]\n");
+    return 1;
+  }
+  const std::string Path = Args.positional().front();
+
+  std::string Summary;
+  std::string Error;
+  if (!obs::checkMetricsFile(Path, &Summary, &Error)) {
+    std::fprintf(stderr, "ltp-metrics-check: %s: %s\n", Path.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+
+  // Optional structural requirement: the exposition must declare every
+  // named family (e.g. --require-metric ltp_serve_request_ms proves the
+  // latency histogram made it onto the scrape surface).
+  if (Args.has("require-metric")) {
+    std::ifstream In(Path);
+    std::ostringstream Text;
+    Text << In.rdbuf();
+    std::set<std::string> Families;
+    for (const std::string &Name : obs::metricFamilyNames(Text.str()))
+      Families.insert(Name);
+    for (const std::string &Wanted :
+         splitList(Args.getString("require-metric", ""))) {
+      if (!Families.count(Wanted)) {
+        std::fprintf(stderr,
+                     "ltp-metrics-check: %s: no metric family named '%s'\n",
+                     Path.c_str(), Wanted.c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::printf("%s: OK (%s)\n", Path.c_str(), Summary.c_str());
+  return 0;
+}

@@ -26,6 +26,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/FlightRecorder.h"
+#include "obs/JsonCheck.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
 #include "serve/Server.h"
 #include "support/ArgParse.h"
 
@@ -34,6 +38,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -46,8 +51,13 @@ using namespace ltp::serve;
 namespace {
 
 std::atomic<bool> SignalStop{false};
+std::atomic<bool> FlightDumpRequested{false};
 
 void onSignal(int) { SignalStop.store(true); }
+
+// SIGUSR2 only sets a flag; the actual dump (file I/O, JSON rendering)
+// runs on the wait() thread's poll callback, never in signal context.
+void onDumpSignal(int) { FlightDumpRequested.store(true); }
 
 void printUsage() {
   std::printf(
@@ -58,6 +68,13 @@ void printUsage() {
       "  --socket PATH       listen on this Unix-domain socket\n"
       "  --score-mode M      force analytic|sim|auto on every request\n"
       "  --no-compile        serve schedules only, never compile kernels\n"
+      "  --log-json[=FILE]   structured JSON logs to FILE (default stderr)\n"
+      "  --log-level L       debug|info|warn|error|off (default info when\n"
+      "                      --log-json is set; LTP_LOG otherwise)\n"
+      "  --slow-ms N         slow-request log threshold in ms (0 = off)\n"
+      "  --metrics-file PATH periodic Prometheus-text snapshots here\n"
+      "  --metrics-interval-s N  snapshot cadence (default 10)\n"
+      "  --flight-dump PATH  SIGUSR2 writes the flight-recorder ring here\n"
       "\n"
       "client options:\n"
       "  --connect PATH      daemon socket to talk to\n"
@@ -73,6 +90,9 @@ void printUsage() {
       "  --id TEXT           request id echoed in the response\n"
       "  --request JSON      send this raw request line instead\n"
       "  --stats             dump the daemon's counters\n"
+      "  --metrics           scrape Prometheus-text metrics (prints the\n"
+      "                      exposition, not the JSON envelope)\n"
+      "  --dump              dump the daemon's flight-recorder ring\n"
       "  --ping              liveness check\n"
       "  --shutdown          stop the daemon\n"
       "  --timeout-ms N      connect retry budget (default 3000)\n"
@@ -81,19 +101,7 @@ void printUsage() {
       "  1 anything else (connect failure, bad request, internal error)\n");
 }
 
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      Out += '\\';
-    if (C == '\n') {
-      Out += "\\n";
-      continue;
-    }
-    Out += C;
-  }
-  return Out;
-}
+using obs::jsonEscape;
 
 /// Builds the request line from convenience flags.
 std::string buildRequest(const ArgParse &Args) {
@@ -101,6 +109,10 @@ std::string buildRequest(const ArgParse &Args) {
     return Args.getString("request", "");
   if (Args.has("stats"))
     return "{\"op\": \"stats\"}";
+  if (Args.has("metrics"))
+    return "{\"op\": \"metrics\"}";
+  if (Args.has("dump"))
+    return "{\"op\": \"dump\"}";
   if (Args.has("ping"))
     return "{\"op\": \"ping\"}";
   if (Args.has("shutdown"))
@@ -161,8 +173,9 @@ int connectWithRetry(const std::string &Path, long TimeoutMs) {
 int runClient(const ArgParse &Args) {
   std::string Line = buildRequest(Args);
   if (Line.empty()) {
-    std::fprintf(stderr, "error: nothing to send (want --kernel, "
-                         "--request, --stats, --ping or --shutdown)\n");
+    std::fprintf(stderr,
+                 "error: nothing to send (want --kernel, --request, "
+                 "--stats, --metrics, --dump, --ping or --shutdown)\n");
     return 1;
   }
   std::string Path = Args.getString("connect", "");
@@ -203,6 +216,22 @@ int runClient(const ArgParse &Args) {
     return 1;
   }
   Reply.resize(Nl);
+  if (Args.has("metrics") &&
+      Reply.find("\"ok\": true") != std::string::npos) {
+    // Unwrap the exposition text from the JSON envelope so the output
+    // is directly scrapeable (and pipeable into ltp-metrics-check).
+    std::string ParseError;
+    std::unique_ptr<obs::JsonValue> Doc = obs::parseJson(Reply, &ParseError);
+    const obs::JsonValue *Text = Doc ? Doc->find("metrics") : nullptr;
+    if (!Text || !Text->isString()) {
+      std::fprintf(stderr, "error: malformed metrics response: %s\n",
+                   ParseError.empty() ? "no \"metrics\" string field"
+                                      : ParseError.c_str());
+      return 1;
+    }
+    std::fputs(Text->StringValue.c_str(), stdout);
+    return 0;
+  }
   std::printf("%s\n", Reply.c_str());
   if (Reply.find("\"ok\": true") != std::string::npos)
     return 0;
@@ -211,7 +240,49 @@ int runClient(const ArgParse &Args) {
   return 1;
 }
 
+/// Writes the flight-recorder ring to \p Path (whole-file replace).
+void writeFlightDump(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "ltp-serve: cannot write flight dump %s: %s\n",
+                 Path.c_str(), std::strerror(errno));
+    return;
+  }
+  std::string Json = obs::flightRecorder().dumpJson();
+  std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fputc('\n', F);
+  std::fclose(F);
+  if (obs::logEnabled(obs::LogLevel::Info))
+    obs::logEvent(obs::LogLevel::Info, "serve", "flight dump written",
+                  {{"path", Path}});
+}
+
 int runDaemon(const ArgParse &Args) {
+  // Observability setup happens before the socket binds so the very
+  // first request is already logged and measured.
+  if (Args.has("log-json")) {
+    std::string LogPath = Args.getString("log-json", "");
+    if (!LogPath.empty() && !obs::setLogFile(LogPath)) {
+      std::fprintf(stderr, "error: cannot open log file %s\n",
+                   LogPath.c_str());
+      return 1;
+    }
+    if (obs::logLevel() == obs::LogLevel::Off)
+      obs::setLogLevel(obs::LogLevel::Info);
+  }
+  if (Args.has("log-level")) {
+    std::string LevelText = Args.getString("log-level", "");
+    obs::LogLevel Level = obs::parseLogLevel(LevelText);
+    if (Level == obs::LogLevel::Off && LevelText != "off") {
+      std::fprintf(stderr, "error: bad --log-level (want debug|info|warn|"
+                           "error|off)\n");
+      return 1;
+    }
+    obs::setLogLevel(Level);
+  }
+  if (Args.has("slow-ms"))
+    obs::setSlowRequestThresholdMs(Args.getDouble("slow-ms", 0.0));
+
   ServiceOptions Opts;
   Opts.ForceScoreMode = Args.getString("score-mode", "");
   Opts.DisableCompile = Args.has("no-compile");
@@ -223,13 +294,31 @@ int runDaemon(const ArgParse &Args) {
     return 1;
   }
 
+  std::unique_ptr<obs::MetricsSnapshotter> Snapshotter;
+  if (Args.has("metrics-file"))
+    Snapshotter = std::make_unique<obs::MetricsSnapshotter>(
+        Args.getString("metrics-file", ""),
+        Args.getInt("metrics-interval-s", 10));
+
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
+  std::signal(SIGUSR2, onDumpSignal);
   std::signal(SIGPIPE, SIG_IGN); // a vanished client must not kill us
+
+  std::string FlightDumpPath = Args.getString("flight-dump", "");
+  auto Poll = [&FlightDumpPath] {
+    if (FlightDumpRequested.exchange(false) && !FlightDumpPath.empty())
+      writeFlightDump(FlightDumpPath);
+  };
 
   std::printf("ltp-serve: listening on %s\n", Srv.socketPath().c_str());
   std::fflush(stdout);
-  Srv.wait(&SignalStop);
+  if (obs::logEnabled(obs::LogLevel::Info))
+    obs::logEvent(obs::LogLevel::Info, "serve", "listening",
+                  {{"socket", Srv.socketPath()}});
+  Srv.wait(&SignalStop, Poll);
+  if (Snapshotter)
+    Snapshotter->stop(); // final snapshot before the exit message
   std::printf("ltp-serve: stopped\n");
   return 0;
 }
